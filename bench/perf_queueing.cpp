@@ -1,0 +1,139 @@
+// Google-benchmark microbenchmarks for the analytical substrate: Buzen's
+// convolution, equilibrium solving, Gini computation, weighted sampling,
+// and CTMC jump throughput.
+#include <benchmark/benchmark.h>
+
+#include "econ/gini.hpp"
+#include "graph/generators.hpp"
+#include "queueing/closed_network.hpp"
+#include "queueing/ctmc.hpp"
+#include "queueing/equilibrium.hpp"
+#include "queueing/mva.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace creditflow;
+
+std::vector<double> random_utilization(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> u(n);
+  for (auto& x : u) x = rng.uniform(0.1, 1.0);
+  u[0] = 1.0;
+  return u;
+}
+
+void BM_BuzenConvolution(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::uint64_t>(state.range(1));
+  const auto u = random_utilization(n, 1);
+  for (auto _ : state) {
+    queueing::ClosedNetwork net(u, m);
+    benchmark::DoNotOptimize(net.log_normalization(m));
+  }
+  state.counters["nm"] = static_cast<double>(n) * static_cast<double>(m);
+}
+BENCHMARK(BM_BuzenConvolution)
+    ->Args({50, 5000})
+    ->Args({100, 10000})
+    ->Args({400, 40000});
+
+void BM_BuzenExpectedWealth(benchmark::State& state) {
+  const auto u = random_utilization(100, 2);
+  queueing::ClosedNetwork net(u, 10000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.expected_wealth(i++ % 100));
+  }
+}
+BENCHMARK(BM_BuzenExpectedWealth);
+
+void BM_ExactMva(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto u = random_utilization(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::exact_mva(u, 100 * n));
+  }
+}
+BENCHMARK(BM_ExactMva)->Arg(50)->Arg(200);
+
+void BM_EquilibriumPower(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  graph::ScaleFreeParams params;
+  const auto g = graph::scale_free(n, params, rng);
+  const auto p = queueing::TransferMatrix::uniform_from_graph(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::solve_equilibrium_power(p));
+  }
+}
+BENCHMARK(BM_EquilibriumPower)->Arg(200)->Arg(1000);
+
+void BM_EquilibriumDirect(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto g = graph::erdos_renyi(200, 0.1, rng);
+  const auto p = queueing::TransferMatrix::uniform_from_graph(g, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::solve_equilibrium_direct(p));
+  }
+}
+BENCHMARK(BM_EquilibriumDirect);
+
+void BM_Gini(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.exponential(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(econ::gini(w));
+  }
+}
+BENCHMARK(BM_Gini)->Arg(1000)->Arg(100000);
+
+void BM_FenwickSampler(benchmark::State& state) {
+  util::Rng rng(13);
+  util::FenwickSampler fs(1024);
+  for (std::size_t i = 0; i < 1024; ++i) fs.set(i, rng.uniform(0.0, 2.0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto idx = fs.sample(rng);
+    benchmark::DoNotOptimize(idx);
+    if (++i % 16 == 0) fs.set(idx, rng.uniform(0.0, 2.0));
+  }
+}
+BENCHMARK(BM_FenwickSampler);
+
+void BM_AliasTable(benchmark::State& state) {
+  util::Rng rng(17);
+  std::vector<double> w(1024);
+  for (auto& x : w) x = rng.uniform(0.0, 2.0);
+  util::AliasTable table{std::span<const double>(w)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTable);
+
+void BM_CtmcJumps(benchmark::State& state) {
+  util::Rng rng(19);
+  graph::ScaleFreeParams params;
+  const auto g = graph::scale_free(500, params, rng);
+  const auto p = queueing::TransferMatrix::uniform_from_graph(g);
+  for (auto _ : state) {
+    queueing::ClosedCtmcConfig cfg;
+    cfg.service_rates.assign(500, 1.0);
+    cfg.initial_credits.assign(500, 20);
+    cfg.horizon = 50.0;
+    cfg.snapshot_interval = 50.0;
+    queueing::ClosedCtmcSimulator sim(p, cfg);
+    const auto jumps = sim.run(nullptr);
+    state.counters["jumps_per_s"] = benchmark::Counter(
+        static_cast<double>(jumps), benchmark::Counter::kIsRate);
+    benchmark::DoNotOptimize(jumps);
+  }
+}
+BENCHMARK(BM_CtmcJumps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

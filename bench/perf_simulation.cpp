@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks for the simulation substrate: event
+// queue throughput, protocol round cost, topology generation and buffer-map
+// operations.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "p2p/chunk.hpp"
+#include "p2p/protocol.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace creditflow;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(rng.uniform(0.0, 1000.0), [](double) {});
+    }
+    while (!q.empty()) {
+      auto f = q.pop();
+      benchmark::DoNotOptimize(f.time);
+    }
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueWithCancellation(benchmark::State& state) {
+  sim::EventQueue q;
+  util::Rng rng(2);
+  std::vector<sim::EventId> ids;
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(q.schedule(rng.uniform(0.0, 1000.0), [](double) {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) {
+      auto f = q.pop();
+      benchmark::DoNotOptimize(f.time);
+    }
+  }
+}
+BENCHMARK(BM_EventQueueWithCancellation);
+
+void BM_ScaleFreeGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  graph::ScaleFreeParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::scale_free(n, params, rng));
+  }
+}
+BENCHMARK(BM_ScaleFreeGeneration)->Arg(500)->Arg(2000);
+
+void BM_BufferMapMissing(benchmark::State& state) {
+  p2p::BufferMap buffer(64);
+  util::Rng rng(4);
+  for (p2p::ChunkId c = 0; c < 64; ++c) {
+    if (rng.bernoulli(0.85)) buffer.set(c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.missing());
+  }
+}
+BENCHMARK(BM_BufferMapMissing);
+
+void BM_BufferMapAdvance(benchmark::State& state) {
+  p2p::BufferMap buffer(64);
+  p2p::ChunkId base = 0;
+  for (auto _ : state) {
+    buffer.set(base + 60);
+    buffer.advance(base + 2);
+    base += 2;
+  }
+}
+BENCHMARK(BM_BufferMapAdvance);
+
+void BM_ProtocolRound(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator;
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = peers;
+  cfg.max_peers = peers;
+  cfg.initial_credits = 100;
+  cfg.seed = 5;
+  p2p::StreamingProtocol proto(cfg, simulator);
+  proto.start();
+  simulator.run_until(50.0);  // warm the market
+  double t = 50.0;
+  for (auto _ : state) {
+    t += 1.0;
+    simulator.run_until(t);
+  }
+  state.counters["tx"] = static_cast<double>(
+      proto.metrics().counter("market.transactions"));
+}
+BENCHMARK(BM_ProtocolRound)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ProtocolRoundWithChurn(benchmark::State& state) {
+  sim::Simulator simulator;
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 400;
+  cfg.max_peers = 1024;
+  cfg.initial_credits = 100;
+  cfg.seed = 6;
+  cfg.churn.enabled = true;
+  cfg.churn.arrival_rate = 1.0;
+  cfg.churn.mean_lifespan = 400.0;
+  p2p::StreamingProtocol proto(cfg, simulator);
+  proto.start();
+  simulator.run_until(50.0);
+  double t = 50.0;
+  for (auto _ : state) {
+    t += 1.0;
+    simulator.run_until(t);
+  }
+}
+BENCHMARK(BM_ProtocolRoundWithChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

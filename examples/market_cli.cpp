@@ -1,0 +1,185 @@
+// market_cli — run a custom credit market from the command line.
+//
+//   market_cli [--peers N] [--credits C] [--horizon S] [--seed K]
+//              [--pricing uniform|poisson|perseller|linear]
+//              [--spend-cv X] [--upload-cv X]
+//              [--tax RATE THRESHOLD] [--dynamic M]
+//              [--churn ARRIVAL LIFESPAN] [--inject INTERVAL AMOUNT]
+//              [--condensed] [--trace] [--chart]
+//
+// Prints the market report, optionally the Gini evolution chart, and (with
+// --trace) the sustainability analyzer's verdict on the empirical Table I
+// mapping. Exit code 0 on a conserved ledger, 2 otherwise.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/market.hpp"
+#include "util/chart.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --peers N            population (default 300)\n"
+      << "  --credits C          initial credits per peer (default 100)\n"
+      << "  --horizon S          simulated seconds (default 5000)\n"
+      << "  --seed K             RNG seed (default 2012)\n"
+      << "  --pricing NAME       uniform|poisson|perseller|linear\n"
+      << "  --spend-cv X         lognormal CV of spending rates (asymmetry)\n"
+      << "  --upload-cv X        lognormal CV of upload capacities\n"
+      << "  --tax RATE THRESH    enable income taxation\n"
+      << "  --dynamic M          dynamic spending with threshold m\n"
+      << "  --churn RATE LIFE    open market: arrivals/s, mean lifespan s\n"
+      << "  --inject INT AMT     mint AMT credits/peer every INT seconds\n"
+      << "  --condensed          the Fig. 1 no-safeguards configuration\n"
+      << "  --trace              enable trace + analyzer verdict\n"
+      << "  --chart              render the Gini(t) chart\n";
+  std::exit(64);
+}
+
+double parse_double(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) usage(argv0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace creditflow;
+  core::MarketConfig cfg;
+  cfg.protocol.initial_peers = 300;
+  cfg.protocol.max_peers = 300;
+  cfg.protocol.initial_credits = 100;
+  cfg.protocol.seed = 2012;
+  cfg.horizon = 5000.0;
+  cfg.snapshot_interval = 125.0;
+  bool want_chart = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int more = 1) {
+      if (i + more >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--peers") {
+      cfg.protocol.initial_peers =
+          static_cast<std::size_t>(parse_double(next(), argv[0]));
+      cfg.protocol.max_peers = cfg.protocol.initial_peers;
+    } else if (arg == "--credits") {
+      cfg.protocol.initial_credits =
+          static_cast<p2p::Credits>(parse_double(next(), argv[0]));
+    } else if (arg == "--horizon") {
+      cfg.horizon = parse_double(next(), argv[0]);
+      cfg.snapshot_interval = cfg.horizon / 40.0;
+    } else if (arg == "--seed") {
+      cfg.protocol.seed =
+          static_cast<std::uint64_t>(parse_double(next(), argv[0]));
+    } else if (arg == "--pricing") {
+      const std::string name = next();
+      if (name == "uniform") {
+        cfg.protocol.pricing.kind = econ::PricingKind::kUniform;
+      } else if (name == "poisson") {
+        cfg.protocol.pricing.kind = econ::PricingKind::kPoisson;
+      } else if (name == "perseller") {
+        cfg.protocol.pricing.kind = econ::PricingKind::kPerSeller;
+      } else if (name == "linear") {
+        cfg.protocol.pricing.kind = econ::PricingKind::kLinearSize;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--spend-cv") {
+      cfg.protocol.heterogeneity.spend_rate_cv =
+          parse_double(next(), argv[0]);
+    } else if (arg == "--upload-cv") {
+      cfg.protocol.heterogeneity.upload_capacity_cv =
+          parse_double(next(), argv[0]);
+    } else if (arg == "--tax") {
+      cfg.protocol.tax.enabled = true;
+      cfg.protocol.tax.rate = parse_double(next(2), argv[0]);
+      cfg.protocol.tax.threshold = parse_double(next(), argv[0]);
+    } else if (arg == "--dynamic") {
+      cfg.protocol.spending.dynamic = true;
+      cfg.protocol.spending.dynamic_threshold =
+          parse_double(next(), argv[0]);
+    } else if (arg == "--churn") {
+      cfg.protocol.churn.enabled = true;
+      cfg.protocol.churn.arrival_rate = parse_double(next(2), argv[0]);
+      cfg.protocol.churn.mean_lifespan = parse_double(next(), argv[0]);
+      cfg.protocol.max_peers = cfg.protocol.initial_peers * 2 + 256;
+    } else if (arg == "--inject") {
+      cfg.protocol.injection.enabled = true;
+      cfg.protocol.injection.interval_seconds =
+          parse_double(next(2), argv[0]);
+      cfg.protocol.injection.credits_per_peer =
+          static_cast<p2p::Credits>(parse_double(next(), argv[0]));
+    } else if (arg == "--condensed") {
+      cfg.protocol.upload_capacity = 8.0;
+      cfg.protocol.weight_sellers_by_fill = true;
+      cfg.protocol.reserve_credits = 0.0;
+      cfg.protocol.deficit_seeding = false;
+      cfg.protocol.pricing.kind = econ::PricingKind::kPoisson;
+    } else if (arg == "--trace") {
+      cfg.enable_trace = true;
+    } else if (arg == "--chart") {
+      want_chart = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  core::CreditMarket market(cfg);
+  const auto report = market.run();
+
+  std::cout << "== market report ==\n"
+            << report.summary() << "\n"
+            << "final wealth: mean=" << report.final_wealth.mean
+            << " median=" << report.final_wealth.median
+            << " gini=" << report.final_wealth.gini
+            << " top10=" << report.final_wealth.top10_share
+            << " bankrupt=" << report.final_wealth.bankrupt_fraction << "\n"
+            << "buffer fill: " << report.mean_buffer_fill.last_value()
+            << "  alive peers: " << report.alive_peers.last_value() << "\n";
+  if (cfg.protocol.tax.enabled) {
+    std::cout << "tax: collected=" << report.tax_collected
+              << " redistributed=" << report.tax_redistributed << "\n";
+  }
+  if (cfg.protocol.churn.enabled) {
+    std::cout << "churn: arrivals=" << report.churn_arrivals
+              << " departures=" << report.churn_departures << "\n";
+  }
+
+  if (want_chart && !report.gini_balances.empty()) {
+    util::ChartOptions opts;
+    opts.title = "Gini of balances over time";
+    std::cout << "\n"
+              << util::render_chart({{"gini", &report.gini_balances}}, opts);
+  }
+
+  if (cfg.enable_trace) {
+    const auto verdict = core::analyze_market(market.empirical_mapping());
+    std::cout << "\n== sustainability verdict ==\n"
+              << "equilibrium exists: "
+              << (verdict.equilibrium_exists ? "yes" : "no")
+              << " (residual " << verdict.equilibrium_residual << ")\n"
+              << "utilization symmetric: "
+              << (verdict.symmetric_utilization ? "yes" : "no") << "\n"
+              << "threshold T: "
+              << (verdict.condensation.threshold_finite
+                      ? std::to_string(verdict.condensation.threshold)
+                      : std::string("+inf"))
+              << "  c=" << verdict.condensation.average_wealth << "\n"
+              << "condensation predicted: "
+              << (verdict.condensation.condensation_predicted ? "YES" : "no")
+              << "\n"
+              << "model equilibrium gini: " << verdict.predicted_gini
+              << "  efficiency exact/eq9: " << verdict.efficiency_exact
+              << "/" << verdict.efficiency_eq9 << "\n";
+  }
+  return report.ledger_conserved ? 0 : 2;
+}

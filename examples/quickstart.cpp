@@ -1,0 +1,61 @@
+// CreditFlow quickstart: build a small credit-incentivized streaming market,
+// run it, and ask the sustainability analyzer whether the credit system can
+// sustain — the full pipeline of the paper in ~60 lines.
+//
+//   market  : 300 peers, scale-free overlay, uniform pricing, c = 50
+//   run     : 4000 simulated seconds
+//   analyze : equilibrium existence, condensation threshold, expected Gini
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "core/market.hpp"
+
+int main() {
+  using namespace creditflow;
+
+  core::MarketConfig config;
+  config.protocol.initial_peers = 300;
+  config.protocol.max_peers = 300;
+  config.protocol.initial_credits = 50;
+  config.protocol.seed = 2012;
+  config.horizon = 4000.0;
+  config.snapshot_interval = 100.0;
+  config.enable_trace = true;  // needed for the empirical Table I mapping
+
+  std::cout << "Running a 300-peer credit market for "
+            << config.horizon << " simulated seconds...\n";
+  core::CreditMarket market(config);
+  const core::MarketReport report = market.run();
+
+  std::cout << "run summary: " << report.summary() << "\n";
+  std::cout << "final mean balance: " << report.final_wealth.mean
+            << " credits, gini " << report.final_wealth.gini
+            << ", top-10% share " << report.final_wealth.top10_share
+            << "\n\n";
+
+  // Map the observed market onto the paper's Jackson network (Table I) and
+  // run the analytical pipeline on it.
+  const core::JacksonMapping mapping = market.empirical_mapping();
+  const core::SustainabilityVerdict verdict = core::analyze_market(mapping);
+
+  std::cout << "Table I mapping extracted: N=" << mapping.num_peers()
+            << " peers, M=" << mapping.total_credits
+            << " credits (c=" << mapping.average_wealth << ")\n";
+  std::cout << "equilibrium exists: "
+            << (verdict.equilibrium_exists ? "yes" : "no")
+            << " (residual " << verdict.equilibrium_residual << ")\n";
+  std::cout << "utilization symmetric: "
+            << (verdict.symmetric_utilization ? "yes" : "no") << "\n";
+  std::cout << "condensation threshold T: "
+            << (verdict.condensation.threshold_finite
+                    ? std::to_string(verdict.condensation.threshold)
+                    : "+inf (corollary: no condensation)")
+            << "\n";
+  std::cout << "condensation predicted: "
+            << (verdict.condensation.condensation_predicted ? "YES" : "no")
+            << "\n";
+  std::cout << "model-predicted equilibrium gini: " << verdict.predicted_gini
+            << " | efficiency (Eq.9) " << verdict.efficiency_eq9
+            << " vs exact " << verdict.efficiency_exact << "\n";
+  return 0;
+}

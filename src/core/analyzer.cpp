@@ -1,0 +1,136 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "econ/gini.hpp"
+#include "queueing/approx.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::core {
+
+namespace {
+
+void analyze_finite_network(SustainabilityVerdict& verdict,
+                            const std::vector<double>& utilization,
+                            std::uint64_t total_credits,
+                            const AnalyzerOptions& opts) {
+  const std::size_t n = utilization.size();
+  const queueing::ClosedNetwork network(utilization, total_credits);
+
+  verdict.expected_wealth.resize(n);
+  double empty_sum = 0.0;
+  double busy_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    verdict.expected_wealth[i] = network.expected_wealth(i);
+    empty_sum += network.empty_probability(i);
+    busy_sum += network.busy_probability(i);
+  }
+  verdict.mean_empty_probability = empty_sum / static_cast<double>(n);
+  verdict.efficiency_exact = busy_sum / static_cast<double>(n);
+  verdict.gini_of_expectations = econ::gini(verdict.expected_wealth);
+
+  const double c = static_cast<double>(total_credits) /
+                   static_cast<double>(n);
+  verdict.efficiency_eq9 = queueing::efficiency_eq9(c);
+
+  // Expected sample Gini at equilibrium: average the Gini of joint draws.
+  // Guard the memory bound of the suffix table (see ClosedNetwork).
+  if ((n + 1) * (total_credits + 1) <= 64'000'000ULL &&
+      opts.gini_samples > 0) {
+    util::Rng rng(opts.seed);
+    double acc = 0.0;
+    std::vector<double> wealth(n);
+    for (std::size_t s = 0; s < opts.gini_samples; ++s) {
+      const auto draw = network.sample_joint(rng);
+      for (std::size_t i = 0; i < n; ++i)
+        wealth[i] = static_cast<double>(draw[i]);
+      acc += econ::gini(wealth);
+    }
+    verdict.predicted_gini = acc / static_cast<double>(opts.gini_samples);
+  } else {
+    // Fall back to the inequality of the expectation profile.
+    verdict.predicted_gini = verdict.gini_of_expectations;
+  }
+}
+
+}  // namespace
+
+SustainabilityVerdict analyze_market(const JacksonMapping& mapping,
+                                     const AnalyzerOptions& opts) {
+  CF_EXPECTS(mapping.num_peers() >= 2);
+  SustainabilityVerdict verdict;
+
+  verdict.irreducible = mapping.transfer.is_irreducible();
+  const auto eq = queueing::solve_equilibrium(mapping.transfer);
+  verdict.equilibrium_residual = eq.residual;
+  verdict.stationary_lambda = eq.lambda;
+  verdict.equilibrium_exists =
+      eq.converged &&
+      std::all_of(eq.lambda.begin(), eq.lambda.end(),
+                  [](double l) { return l >= 0.0; }) &&
+      *std::max_element(eq.lambda.begin(), eq.lambda.end()) > 0.0;
+
+  verdict.utilization = mapping.utilization;
+  CF_EXPECTS(verdict.utilization.size() == mapping.num_peers());
+
+  double min_u = 1.0;
+  for (double u : verdict.utilization) min_u = std::min(min_u, u);
+  verdict.symmetric_utilization = (1.0 - min_u) <= opts.symmetric_tolerance;
+
+  if (verdict.symmetric_utilization) {
+    // Corollary of Sec. V-A: T = +∞, condensation never occurs.
+    verdict.condensation.threshold = util::kPosInf;
+    verdict.condensation.threshold_finite = false;
+    verdict.condensation.average_wealth = mapping.average_wealth;
+    verdict.condensation.condensation_predicted = false;
+  } else {
+    verdict.condensation = queueing::analyze_condensation_empirical(
+        verdict.utilization, mapping.average_wealth, opts.condensation);
+  }
+
+  analyze_finite_network(verdict, verdict.utilization, mapping.total_credits,
+                         opts);
+  return verdict;
+}
+
+SustainabilityVerdict analyze_utilization(std::vector<double> utilization,
+                                          std::uint64_t total_credits,
+                                          const AnalyzerOptions& opts) {
+  CF_EXPECTS(utilization.size() >= 2);
+  SustainabilityVerdict verdict;
+  verdict.irreducible = true;        // not applicable in this mode
+  verdict.equilibrium_exists = true; // supplied directly
+  verdict.utilization = std::move(utilization);
+
+  double min_u = 1.0;
+  double max_u = 0.0;
+  for (double u : verdict.utilization) {
+    CF_EXPECTS_MSG(u >= 0.0, "negative utilization");
+    min_u = std::min(min_u, u);
+    max_u = std::max(max_u, u);
+  }
+  CF_EXPECTS_MSG(max_u > 0.0, "all-zero utilization");
+  // Normalize to the paper's Eq. (2) scale.
+  for (double& u : verdict.utilization) u /= max_u;
+  min_u /= max_u;
+
+  const double c = static_cast<double>(total_credits) /
+                   static_cast<double>(verdict.utilization.size());
+  verdict.symmetric_utilization = (1.0 - min_u) <= opts.symmetric_tolerance;
+  if (verdict.symmetric_utilization) {
+    verdict.condensation.threshold = util::kPosInf;
+    verdict.condensation.threshold_finite = false;
+    verdict.condensation.average_wealth = c;
+    verdict.condensation.condensation_predicted = false;
+  } else {
+    verdict.condensation = queueing::analyze_condensation_empirical(
+        verdict.utilization, c, opts.condensation);
+  }
+
+  analyze_finite_network(verdict, verdict.utilization, total_credits, opts);
+  return verdict;
+}
+
+}  // namespace creditflow::core

@@ -1,0 +1,63 @@
+// CreditFlow: SustainabilityAnalyzer — the paper's analytical pipeline as a
+// single entry point. Given a Jackson-network view of a market (Table I
+// mapping) it answers, in order:
+//
+//  1. does a stable credit circulation exist (Lemma 1), and what is it?
+//  2. is asymptotic wealth condensation predicted (Eq. 4, Theorems 2/3)?
+//  3. what does the exact finite-network equilibrium look like — expected
+//     wealth per peer, Gini index, bankruptcy probabilities (Sec. V-B)?
+//  4. how efficient is content exchange at this average wealth (Eq. 9)?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "queueing/closed_network.hpp"
+#include "queueing/condensation.hpp"
+
+namespace creditflow::core {
+
+/// Everything the analyzer derives about a market.
+struct SustainabilityVerdict {
+  // Equilibrium existence (Lemma 1).
+  bool irreducible = false;
+  bool equilibrium_exists = false;   ///< positive stationary λ found
+  double equilibrium_residual = 0.0; ///< ||λP − λ||∞
+  std::vector<double> stationary_lambda;
+
+  // Utilization profile.
+  std::vector<double> utilization;
+  bool symmetric_utilization = false;  ///< all u_i ≈ 1 (corollary case)
+
+  // Asymptotic condensation (Theorems 2/3).
+  queueing::CondensationAnalysis condensation;
+
+  // Finite-network equilibrium (exact, via Buzen).
+  std::vector<double> expected_wealth;   ///< E[B_i]
+  double predicted_gini = 0.0;           ///< Gini of a typical joint sample
+  double gini_of_expectations = 0.0;     ///< Gini over the E[B_i] profile
+  double mean_empty_probability = 0.0;   ///< avg P(B_i = 0)
+  double efficiency_eq9 = 0.0;           ///< 1 − e^{-c}
+  double efficiency_exact = 0.0;         ///< avg busy probability (exact)
+};
+
+/// Analyzer options.
+struct AnalyzerOptions {
+  double symmetric_tolerance = 0.05;   ///< max deviation of u_i from 1
+  std::size_t gini_samples = 64;       ///< joint samples for predicted_gini
+  std::uint64_t seed = 7;
+  queueing::EmpiricalOptions condensation;
+};
+
+/// Run the full pipeline on a mapping.
+[[nodiscard]] SustainabilityVerdict analyze_market(
+    const JacksonMapping& mapping, const AnalyzerOptions& opts = {});
+
+/// Shortcut: analyze a utilization profile directly (no routing matrix),
+/// skipping the equilibrium stage. Used by the analytic benches.
+[[nodiscard]] SustainabilityVerdict analyze_utilization(
+    std::vector<double> utilization, std::uint64_t total_credits,
+    const AnalyzerOptions& opts = {});
+
+}  // namespace creditflow::core

@@ -1,0 +1,82 @@
+#include "core/market.hpp"
+
+#include <numeric>
+
+#include "econ/gini.hpp"
+#include "util/assert.hpp"
+
+namespace creditflow::core {
+
+CreditMarket::CreditMarket(MarketConfig config) : cfg_(std::move(config)) {
+  CF_EXPECTS(cfg_.horizon > 0.0);
+  CF_EXPECTS(cfg_.snapshot_interval > 0.0);
+  CF_EXPECTS(cfg_.snapshot_interval <= cfg_.horizon);
+  protocol_ =
+      std::make_unique<p2p::StreamingProtocol>(cfg_.protocol, sim_);
+  if (cfg_.enable_trace) protocol_->trace().set_enabled(true);
+}
+
+void CreditMarket::take_snapshot(double t, MarketReport& report) {
+  const auto balances = protocol_->balance_snapshot();
+  if (balances.empty()) return;
+
+  const double total =
+      std::accumulate(balances.begin(), balances.end(), 0.0);
+  report.mean_balance.add(t, total / static_cast<double>(balances.size()));
+  report.alive_peers.add(t, static_cast<double>(balances.size()));
+  report.mean_buffer_fill.add(t, protocol_->mean_buffer_fill());
+  report.gini_balances.add(t, total > 0.0 ? econ::gini(balances) : 0.0);
+
+  const auto rates = protocol_->spend_rate_snapshot();
+  const double rate_total =
+      std::accumulate(rates.begin(), rates.end(), 0.0);
+  report.gini_spend_rates.add(t,
+                              rate_total > 0.0 ? econ::gini(rates) : 0.0);
+
+  if (cfg_.audit_every_snapshot) {
+    CF_ENSURES_MSG(protocol_->ledger().audit(),
+                   "ledger conservation violated at snapshot");
+  }
+}
+
+MarketReport CreditMarket::run() {
+  CF_EXPECTS_MSG(!ran_, "CreditMarket::run may only be called once");
+  ran_ = true;
+
+  MarketReport report;
+  protocol_->start();
+  sim_.schedule_periodic(
+      sim_.now() + cfg_.snapshot_interval, cfg_.snapshot_interval,
+      [this, &report](double t) { take_snapshot(t, report); });
+  sim_.run_until(cfg_.horizon);
+
+  // Final state.
+  report.horizon = cfg_.horizon;
+  report.rounds = protocol_->rounds_run();
+  report.final_balances = protocol_->balance_snapshot();
+  report.final_spend_rates = protocol_->spend_rate_snapshot();
+  report.final_download_rates = protocol_->download_rate_snapshot();
+  if (!report.final_balances.empty()) {
+    report.final_wealth = econ::summarize_wealth(report.final_balances);
+  }
+
+  auto& metrics = protocol_->metrics();
+  report.transactions = metrics.counter("market.transactions");
+  report.volume = metrics.counter("market.volume");
+  report.tax_collected = protocol_->taxation().total_collected();
+  report.tax_redistributed = protocol_->taxation().total_redistributed();
+  report.churn_arrivals = metrics.counter("churn.arrivals");
+  report.churn_departures = metrics.counter("churn.departures");
+  report.ledger_conserved = protocol_->ledger().audit();
+  return report;
+}
+
+JacksonMapping CreditMarket::empirical_mapping() const {
+  return mapping_from_trace(*protocol_, sim_.now());
+}
+
+JacksonMapping CreditMarket::prescriptive_mapping() const {
+  return mapping_from_market(*protocol_);
+}
+
+}  // namespace creditflow::core

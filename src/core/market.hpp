@@ -1,0 +1,58 @@
+// CreditFlow: CreditMarket — the top-level facade. Configure a market, run
+// it on the discrete-event engine, get a MarketReport; optionally extract
+// the Table I mapping and hand it to the SustainabilityAnalyzer.
+//
+// This is the API the examples and figure benches are written against.
+#pragma once
+
+#include <memory>
+
+#include "core/mapping.hpp"
+#include "core/report.hpp"
+#include "p2p/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace creditflow::core {
+
+/// Run parameters around the protocol configuration.
+struct MarketConfig {
+  p2p::ProtocolConfig protocol;
+  double horizon = 20000.0;          ///< simulated seconds
+  double snapshot_interval = 200.0;  ///< metrics cadence
+  bool enable_trace = false;         ///< pairwise flow aggregation for mapping
+  bool audit_every_snapshot = true;  ///< assert ledger conservation
+};
+
+/// One market = one simulator + one protocol instance + metrics collection.
+class CreditMarket {
+ public:
+  explicit CreditMarket(MarketConfig config);
+
+  /// Run to the horizon and return the collected report. Can only be called
+  /// once per instance.
+  [[nodiscard]] MarketReport run();
+
+  /// Access the live protocol (valid after construction; most useful after
+  /// run() for final-state inspection or mapping extraction).
+  [[nodiscard]] const p2p::StreamingProtocol& protocol() const {
+    return *protocol_;
+  }
+  [[nodiscard]] const MarketConfig& config() const { return cfg_; }
+  [[nodiscard]] double now() const { return sim_.now(); }
+
+  /// Empirical Table I mapping from the recorded trace (requires
+  /// enable_trace and a completed run).
+  [[nodiscard]] JacksonMapping empirical_mapping() const;
+  /// Prescriptive Table I mapping from the current market state.
+  [[nodiscard]] JacksonMapping prescriptive_mapping() const;
+
+ private:
+  void take_snapshot(double t, MarketReport& report);
+
+  MarketConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<p2p::StreamingProtocol> protocol_;
+  bool ran_ = false;
+};
+
+}  // namespace creditflow::core

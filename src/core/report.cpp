@@ -1,0 +1,34 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace creditflow::core {
+
+double MarketReport::converged_gini() const {
+  if (gini_balances.empty()) return 0.0;
+  return gini_balances.tail_mean(0.25);
+}
+
+std::string MarketReport::summary() const {
+  std::ostringstream oss;
+  oss << "rounds=" << rounds << " tx=" << transactions
+      << " volume=" << volume << " gini=" << converged_gini()
+      << " bankrupt=" << final_wealth.bankrupt_fraction
+      << " top10=" << final_wealth.top10_share
+      << (ledger_conserved ? "" : " [LEDGER VIOLATION]");
+  return oss.str();
+}
+
+util::ConsoleTable MarketReport::gini_table(const std::string& title) const {
+  util::ConsoleTable table(title);
+  table.set_header({"time_s", "gini_balances", "mean_balance",
+                    "buffer_fill", "alive"});
+  for (std::size_t i = 0; i < gini_balances.size(); ++i) {
+    table.add_row({gini_balances.time_at(i), gini_balances.value_at(i),
+                   mean_balance.value_at(i), mean_buffer_fill.value_at(i),
+                   alive_peers.value_at(i)});
+  }
+  return table;
+}
+
+}  // namespace creditflow::core

@@ -1,0 +1,51 @@
+// CreditFlow: MarketReport — everything a CreditMarket run produces, plus
+// console/CSV rendering helpers shared by examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "econ/wealth.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace creditflow::core {
+
+/// Result of one simulated market run.
+struct MarketReport {
+  // Time series sampled every snapshot_interval.
+  util::TimeSeries gini_balances{"gini.balances"};
+  util::TimeSeries gini_spend_rates{"gini.spend_rates"};
+  util::TimeSeries mean_balance{"mean.balance"};
+  util::TimeSeries mean_buffer_fill{"mean.buffer_fill"};
+  util::TimeSeries alive_peers{"alive.peers"};
+
+  // Final-state snapshots (alive peers, unsorted).
+  std::vector<double> final_balances;
+  std::vector<double> final_spend_rates;
+  std::vector<double> final_download_rates;
+  econ::WealthSummary final_wealth;
+
+  // Market-wide accounting.
+  std::uint64_t transactions = 0;
+  std::uint64_t volume = 0;
+  std::uint64_t tax_collected = 0;
+  std::uint64_t tax_redistributed = 0;
+  std::uint64_t churn_arrivals = 0;
+  std::uint64_t churn_departures = 0;
+  std::uint64_t rounds = 0;
+  double horizon = 0.0;
+  bool ledger_conserved = true;
+
+  /// Converged Gini estimate: mean over the trailing 25% of the run.
+  [[nodiscard]] double converged_gini() const;
+
+  /// One-line summary for logs/examples.
+  [[nodiscard]] std::string summary() const;
+
+  /// Render the Gini evolution as a table (used by several figure benches).
+  [[nodiscard]] util::ConsoleTable gini_table(const std::string& title) const;
+};
+
+}  // namespace creditflow::core

@@ -1,0 +1,69 @@
+#include "econ/wealth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "econ/gini.hpp"
+#include "util/assert.hpp"
+
+namespace creditflow::econ {
+
+WealthSummary summarize_wealth(std::span<const double> wealth) {
+  CF_EXPECTS(!wealth.empty());
+  WealthSummary s;
+  std::vector<double> sorted(wealth.begin(), wealth.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  for (double w : sorted) {
+    CF_EXPECTS_MSG(w >= 0.0, "wealth values must be non-negative");
+    s.total += w;
+  }
+  s.mean = s.total / static_cast<double>(n);
+  s.median = n % 2 == 1 ? sorted[n / 2]
+                        : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  s.max = sorted.back();
+  std::size_t zeros = 0;
+  for (double w : sorted) {
+    if (w == 0.0) ++zeros;
+  }
+  s.bankrupt_fraction = static_cast<double>(zeros) / static_cast<double>(n);
+  if (s.total > 0.0) {
+    s.gini = gini(wealth);
+    s.top1_share = top_share(wealth, 0.01);
+    s.top10_share = top_share(wealth, 0.10);
+  }
+  return s;
+}
+
+double top_share(std::span<const double> wealth, double fraction) {
+  CF_EXPECTS(!wealth.empty());
+  CF_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  std::vector<double> sorted(wealth.begin(), wealth.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double total = 0.0;
+  for (double w : sorted) total += w;
+  if (total <= 0.0) return 0.0;
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(sorted.size()))));
+  double top = 0.0;
+  for (std::size_t i = 0; i < k; ++i) top += sorted[i];
+  return top / total;
+}
+
+double fraction_below(std::span<const double> wealth, double threshold) {
+  CF_EXPECTS(!wealth.empty());
+  std::size_t count = 0;
+  for (double w : wealth) {
+    if (w < threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(wealth.size());
+}
+
+std::vector<double> sorted_ascending(std::span<const double> wealth) {
+  std::vector<double> sorted(wealth.begin(), wealth.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace creditflow::econ

@@ -1,0 +1,40 @@
+// CreditFlow: wealth-distribution summaries and condensation indicators
+// beyond the Gini index (top-share, bankruptcy fraction, skew diagnostics).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace creditflow::econ {
+
+/// Summary of a wealth snapshot across peers.
+struct WealthSummary {
+  double total = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  double gini = 0.0;
+  double top1_share = 0.0;        ///< wealth share of the richest 1%
+  double top10_share = 0.0;       ///< wealth share of the richest 10%
+  double bankrupt_fraction = 0.0; ///< fraction of peers with wealth == 0
+};
+
+/// Compute all summary fields; requires a non-empty sample with a positive
+/// total (a fully-bankrupt population is reported with gini = 0 and
+/// bankrupt_fraction = 1 rather than rejected).
+[[nodiscard]] WealthSummary summarize_wealth(std::span<const double> wealth);
+
+/// Wealth share of the richest `fraction` of peers (fraction in (0,1]).
+[[nodiscard]] double top_share(std::span<const double> wealth,
+                               double fraction);
+
+/// Fraction of peers whose wealth is strictly below `threshold`.
+[[nodiscard]] double fraction_below(std::span<const double> wealth,
+                                    double threshold);
+
+/// Sorted copy (ascending) — the x-axis ordering used by the paper's
+/// Figs. 1, 5, 6 ("peer indices sorted in increasing order").
+[[nodiscard]] std::vector<double> sorted_ascending(
+    std::span<const double> wealth);
+
+}  // namespace creditflow::econ

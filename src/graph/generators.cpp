@@ -1,0 +1,257 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace creditflow::graph {
+
+Graph erdos_renyi(std::size_t n, double p, util::Rng& rng) {
+  CF_EXPECTS(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph ring_lattice(std::size_t n, std::size_t half_k) {
+  CF_EXPECTS(n >= 2);
+  CF_EXPECTS(half_k >= 1 && half_k < n);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= half_k; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  CF_EXPECTS(n >= 2);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+namespace {
+
+/// Mean of the truncated discrete power law P(d) ∝ d^-alpha on [dmin, dmax].
+double truncated_power_law_mean(double alpha, std::uint64_t dmin,
+                                std::uint64_t dmax) {
+  double norm = 0.0;
+  double mean = 0.0;
+  for (std::uint64_t d = dmin; d <= dmax; ++d) {
+    const double w = std::pow(static_cast<double>(d), -alpha);
+    norm += w;
+    mean += static_cast<double>(d) * w;
+  }
+  return mean / norm;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> power_law_degree_sequence(
+    std::size_t n, const ScaleFreeParams& params, util::Rng& rng) {
+  CF_EXPECTS(n >= 3);
+  CF_EXPECTS(params.exponent > 1.0);
+  CF_EXPECTS(params.target_mean_degree >= 1.0);
+  std::uint64_t dmax = params.max_degree;
+  if (dmax == 0) {
+    dmax = std::min<std::uint64_t>(
+        n - 1,
+        static_cast<std::uint64_t>(4.0 * std::sqrt(static_cast<double>(n))) +
+            8);
+  }
+  dmax = std::min<std::uint64_t>(dmax, n - 1);
+  CF_EXPECTS_MSG(params.target_mean_degree < static_cast<double>(dmax),
+                 "target mean degree unreachable under max degree cap");
+
+  // Find the dmin whose truncated power-law mean brackets the target, then
+  // mix dmin and dmin+1 to land on the target mean exactly (in expectation).
+  std::uint64_t dmin = 1;
+  while (dmin < dmax &&
+         truncated_power_law_mean(params.exponent, dmin + 1, dmax) <=
+             params.target_mean_degree) {
+    ++dmin;
+  }
+  const double mean_lo = truncated_power_law_mean(params.exponent, dmin, dmax);
+  double mix = 0.0;  // probability of using dmin+1 as the lower cutoff
+  if (dmin < dmax) {
+    const double mean_hi =
+        truncated_power_law_mean(params.exponent, dmin + 1, dmax);
+    if (mean_hi > mean_lo) {
+      mix = std::clamp((params.target_mean_degree - mean_lo) /
+                           (mean_hi - mean_lo),
+                       0.0, 1.0);
+    }
+  }
+
+  std::vector<std::uint64_t> degrees(n);
+  for (auto& d : degrees) {
+    const std::uint64_t lo = rng.bernoulli(mix) ? dmin + 1 : dmin;
+    d = rng.power_law_int(params.exponent, lo, dmax);
+  }
+  // The configuration model needs an even stub count.
+  const std::uint64_t sum = std::accumulate(degrees.begin(), degrees.end(),
+                                            std::uint64_t{0});
+  if (sum % 2 == 1) {
+    auto& d = degrees[rng.uniform_index(degrees.size())];
+    d = (d < dmax) ? d + 1 : d - 1;
+  }
+  return degrees;
+}
+
+Graph scale_free(std::size_t n, const ScaleFreeParams& params,
+                 util::Rng& rng) {
+  const auto degrees = power_law_degree_sequence(n, params, rng);
+
+  // Configuration model: lay out stubs, shuffle, pair. Reject self-loops and
+  // parallel edges; a few rejected stubs only shave the degree tails.
+  std::vector<NodeId> stubs;
+  stubs.reserve(std::accumulate(degrees.begin(), degrees.end(),
+                                std::uint64_t{0}));
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint64_t j = 0; j < degrees[u]; ++j) stubs.push_back(u);
+  }
+  rng.shuffle(stubs);
+
+  Graph g(n);
+  std::vector<NodeId> retry;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i];
+    const NodeId v = stubs[i + 1];
+    if (!g.add_edge(u, v)) {
+      retry.push_back(u);
+      retry.push_back(v);
+    }
+  }
+  // One rewiring pass over the rejected stubs.
+  rng.shuffle(retry);
+  for (std::size_t i = 0; i + 1 < retry.size(); i += 2) {
+    g.add_edge(retry[i], retry[i + 1]);
+  }
+
+  make_connected(g, rng);
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
+  CF_EXPECTS(m >= 1);
+  CF_EXPECTS(n > m);
+  Graph g(n);
+  // Seed clique of m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u)
+    for (NodeId v = u + 1; v <= m; ++v) g.add_edge(u, v);
+
+  // Repeated-endpoint list gives degree-proportional sampling in O(1).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * m);
+  for (NodeId u = 0; u <= m; ++u)
+    for (NodeId v : g.neighbors(u)) {
+      (void)v;
+      endpoints.push_back(u);
+    }
+
+  for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < m && attempts < 50 * m) {
+      const NodeId target = endpoints[rng.uniform_index(endpoints.size())];
+      ++attempts;
+      if (g.add_edge(u, target)) {
+        endpoints.push_back(u);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+    // Degenerate fallback: connect to sequential nodes.
+    for (NodeId v = 0; added < m && v < u; ++v) {
+      if (g.add_edge(u, v)) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+void make_connected(Graph& g, util::Rng& rng) {
+  if (g.num_nodes() <= 1) return;
+  auto labels = connected_components(g);
+  const std::uint32_t num_components =
+      labels.empty() ? 0
+                     : *std::max_element(labels.begin(), labels.end()) + 1;
+  if (num_components <= 1) return;
+
+  // Pick one representative per component; chain them together with random
+  // partner nodes from the largest component where possible.
+  std::vector<std::vector<NodeId>> members(num_components);
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    members[labels[u]].push_back(u);
+  std::size_t giant = 0;
+  for (std::size_t c = 1; c < members.size(); ++c) {
+    if (members[c].size() > members[giant].size()) giant = c;
+  }
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    if (c == giant) continue;
+    const NodeId u = members[c][rng.uniform_index(members[c].size())];
+    const NodeId v =
+        members[giant][rng.uniform_index(members[giant].size())];
+    g.add_edge(u, v);
+  }
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats out;
+  if (g.num_nodes() == 0) return out;
+  util::RunningStats rs;
+  std::size_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    rs.add(static_cast<double>(g.degree(u)));
+    max_deg = std::max(max_deg, g.degree(u));
+  }
+  out.mean = rs.mean();
+  out.min = rs.min();
+  out.max = rs.max();
+  out.cv = rs.cv();
+
+  // Least-squares slope of log(count) vs log(degree), over non-empty degrees.
+  std::vector<std::size_t> counts(max_deg + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++counts[g.degree(u)];
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t d = 1; d <= max_deg; ++d) {
+    if (counts[d] == 0) continue;
+    const double x = std::log(static_cast<double>(d));
+    const double y = std::log(static_cast<double>(counts[d]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  if (m >= 2) {
+    const double denom = static_cast<double>(m) * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      out.loglog_slope = (static_cast<double>(m) * sxy - sx * sy) / denom;
+    }
+  }
+  return out;
+}
+
+}  // namespace creditflow::graph

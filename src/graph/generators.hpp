@@ -1,0 +1,68 @@
+// CreditFlow: overlay topology generators.
+//
+// The paper's simulations use scale-free overlays with degree distribution
+// P(D) ∝ D^-k, k = 2.5, and mean degree 20 (Sec. VI). We provide that
+// generator plus the standard reference topologies used in tests and
+// ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::graph {
+
+/// Erdős–Rényi G(n, p).
+[[nodiscard]] Graph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Ring lattice where each node links to `half_k` neighbors on each side.
+[[nodiscard]] Graph ring_lattice(std::size_t n, std::size_t half_k);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(std::size_t n);
+
+/// Star: node 0 is the hub.
+[[nodiscard]] Graph star(std::size_t n);
+
+/// Parameters for the scale-free overlay generator.
+struct ScaleFreeParams {
+  double exponent = 2.5;        ///< shape parameter k in P(D) ∝ D^-k
+  double target_mean_degree = 20.0;
+  std::uint64_t max_degree = 0;  ///< 0 = auto (~sqrt(n) * 4, capped at n-1)
+};
+
+/// Sample a power-law degree sequence whose mean is close to the target.
+/// The minimum degree is tuned so the truncated power-law mean matches
+/// `target_mean_degree`; the sum is adjusted to be even.
+[[nodiscard]] std::vector<std::uint64_t> power_law_degree_sequence(
+    std::size_t n, const ScaleFreeParams& params, util::Rng& rng);
+
+/// Scale-free overlay via the configuration model on a power-law degree
+/// sequence, with self-loop/multi-edge rejection and a connectivity repair
+/// pass (small components are linked into the giant component).
+[[nodiscard]] Graph scale_free(std::size_t n, const ScaleFreeParams& params,
+                               util::Rng& rng);
+
+/// Barabási–Albert preferential attachment with m links per new node;
+/// used for ablations and for the churn join rule.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t m,
+                                    util::Rng& rng);
+
+/// Link all components into one (adds the minimum number of edges, choosing
+/// random endpoints). No-op on a connected graph.
+void make_connected(Graph& g, util::Rng& rng);
+
+/// Degree-distribution summary used by tests and the topology report.
+struct DegreeStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double cv = 0.0;             ///< coefficient of variation
+  double loglog_slope = 0.0;   ///< slope of log-count vs log-degree fit
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+}  // namespace creditflow::graph

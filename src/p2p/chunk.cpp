@@ -1,0 +1,81 @@
+#include "p2p/chunk.hpp"
+
+#include "util/assert.hpp"
+
+namespace creditflow::p2p {
+
+BufferMap::BufferMap(std::size_t capacity) : have_(capacity, false) {
+  CF_EXPECTS(capacity > 0);
+}
+
+double BufferMap::fill() const {
+  return static_cast<double>(count_) / static_cast<double>(have_.size());
+}
+
+bool BufferMap::in_window(ChunkId c) const {
+  return c >= base_ && c < base_ + have_.size();
+}
+
+bool BufferMap::has(ChunkId c) const {
+  if (!in_window(c)) return false;
+  return have_[slot(c)];
+}
+
+bool BufferMap::set(ChunkId c) {
+  if (!in_window(c)) return false;
+  const std::size_t s = slot(c);
+  if (have_[s]) return false;
+  have_[s] = true;
+  ++count_;
+  return true;
+}
+
+std::size_t BufferMap::advance(ChunkId new_base) {
+  CF_EXPECTS_MSG(new_base >= base_, "window cannot move backwards");
+  std::size_t evicted = 0;
+  const ChunkId old_end = base_ + have_.size();
+  // Evict slots that leave the window; if the jump exceeds the capacity the
+  // whole buffer is cleared.
+  if (new_base >= old_end) {
+    for (std::size_t s = 0; s < have_.size(); ++s) {
+      if (have_[s]) {
+        have_[s] = false;
+        ++evicted;
+      }
+    }
+    count_ = 0;
+  } else {
+    for (ChunkId c = base_; c < new_base; ++c) {
+      const std::size_t s = slot(c);
+      if (have_[s]) {
+        have_[s] = false;
+        --count_;
+        ++evicted;
+      }
+    }
+  }
+  base_ = new_base;
+  return evicted;
+}
+
+std::vector<ChunkId> BufferMap::missing(std::size_t max_results) const {
+  std::vector<ChunkId> out;
+  const std::size_t cap =
+      max_results == 0 ? have_.size() : max_results;
+  out.reserve(std::min(cap, have_.size() - count_));
+  for (ChunkId c = base_; c < base_ + have_.size(); ++c) {
+    if (!have_[slot(c)]) {
+      out.push_back(c);
+      if (out.size() >= cap) break;
+    }
+  }
+  return out;
+}
+
+void BufferMap::reset(ChunkId new_base) {
+  std::fill(have_.begin(), have_.end(), false);
+  base_ = new_base;
+  count_ = 0;
+}
+
+}  // namespace creditflow::p2p

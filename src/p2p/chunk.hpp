@@ -1,0 +1,60 @@
+// CreditFlow: stream chunks and per-peer availability windows.
+//
+// A live stream is an unbounded sequence of chunks 0,1,2,… emitted at a
+// fixed rate. Peers hold a sliding playback window; the BufferMap tracks
+// which chunks inside the window a peer currently has, backed by a ring
+// buffer so advancing the window is O(evicted), not O(window).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace creditflow::p2p {
+
+using ChunkId = std::uint64_t;
+
+/// Sliding-window chunk availability bitmap.
+class BufferMap {
+ public:
+  /// Window of `capacity` consecutive chunk slots starting at chunk 0.
+  explicit BufferMap(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return have_.size(); }
+  /// First chunk id inside the window.
+  [[nodiscard]] ChunkId base() const { return base_; }
+  /// One-past-last chunk id inside the window.
+  [[nodiscard]] ChunkId end() const { return base_ + have_.size(); }
+  /// Number of chunks currently held.
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Fill ratio in [0,1].
+  [[nodiscard]] double fill() const;
+
+  [[nodiscard]] bool in_window(ChunkId c) const;
+  /// True when the peer holds chunk c (false outside the window).
+  [[nodiscard]] bool has(ChunkId c) const;
+  /// Mark chunk c as held; returns false if c is outside the window or
+  /// already held.
+  bool set(ChunkId c);
+
+  /// Advance the window base to `new_base` (>= current base), evicting
+  /// chunks that fall out. Returns the number of held chunks evicted.
+  std::size_t advance(ChunkId new_base);
+
+  /// Chunk ids in the window the peer is missing, ascending (most urgent
+  /// first for playback), capped at `max_results` (0 = no cap).
+  [[nodiscard]] std::vector<ChunkId> missing(std::size_t max_results = 0) const;
+
+  /// Reset to an empty window at the given base.
+  void reset(ChunkId new_base);
+
+ private:
+  [[nodiscard]] std::size_t slot(ChunkId c) const {
+    return static_cast<std::size_t>(c % have_.size());
+  }
+
+  std::vector<bool> have_;
+  ChunkId base_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,79 @@
+#include "p2p/ledger.hpp"
+
+#include "util/assert.hpp"
+
+namespace creditflow::p2p {
+
+CreditLedger::CreditLedger(std::size_t max_peers) : balance_(max_peers, 0) {
+  CF_EXPECTS(max_peers > 0);
+}
+
+void CreditLedger::mint(PeerId peer, Credits amount) {
+  CF_EXPECTS(peer < balance_.size());
+  balance_[peer] += amount;
+  minted_ += amount;
+}
+
+Credits CreditLedger::burn_all(PeerId peer) {
+  CF_EXPECTS(peer < balance_.size());
+  const Credits amount = balance_[peer];
+  balance_[peer] = 0;
+  burned_ += amount;
+  return amount;
+}
+
+bool CreditLedger::transfer(PeerId from, PeerId to, Credits amount) {
+  CF_EXPECTS(from < balance_.size() && to < balance_.size());
+  if (balance_[from] < amount) return false;
+  balance_[from] -= amount;
+  balance_[to] += amount;
+  ++transfers_;
+  volume_ += amount;
+  return true;
+}
+
+Credits CreditLedger::collect_tax(PeerId peer, Credits amount) {
+  CF_EXPECTS(peer < balance_.size());
+  const Credits take = amount < balance_[peer] ? amount : balance_[peer];
+  balance_[peer] -= take;
+  treasury_ += take;
+  return take;
+}
+
+void CreditLedger::redistribute(std::span<const PeerId> recipients) {
+  CF_EXPECTS_MSG(treasury_ >= recipients.size(),
+                 "treasury cannot cover redistribution");
+  for (PeerId peer : recipients) {
+    CF_EXPECTS(peer < balance_.size());
+    balance_[peer] += 1;
+  }
+  treasury_ -= recipients.size();
+}
+
+Credits CreditLedger::balance(PeerId peer) const {
+  CF_EXPECTS(peer < balance_.size());
+  return balance_[peer];
+}
+
+Credits CreditLedger::circulating() const {
+  Credits total = 0;
+  for (Credits b : balance_) total += b;
+  return total;
+}
+
+bool CreditLedger::audit() const {
+  return circulating() + treasury_ == minted_ - burned_;
+}
+
+std::vector<double> CreditLedger::snapshot(
+    std::span<const PeerId> alive) const {
+  std::vector<double> out;
+  out.reserve(alive.size());
+  for (PeerId peer : alive) {
+    CF_EXPECTS(peer < balance_.size());
+    out.push_back(static_cast<double>(balance_[peer]));
+  }
+  return out;
+}
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,69 @@
+// CreditFlow: the credit ledger — every virtual-currency movement in the
+// market flows through here, so conservation is checkable in one place.
+//
+// Closed markets (no churn) mint each peer's initial endowment once and then
+// only transfer; the invariant Σ balances + treasury == minted − burned holds
+// at every instant and is asserted by tests and by audit() calls sprinkled
+// through the protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace creditflow::p2p {
+
+using PeerId = std::uint32_t;
+using Credits = std::uint64_t;
+
+/// Balances for a slot-addressed peer population plus a system treasury.
+class CreditLedger {
+ public:
+  explicit CreditLedger(std::size_t max_peers);
+
+  [[nodiscard]] std::size_t capacity() const { return balance_.size(); }
+
+  /// Create `amount` new credits in `peer`'s account (join endowment).
+  void mint(PeerId peer, Credits amount);
+  /// Destroy the peer's entire balance (peer departure takes credits along);
+  /// returns the amount removed.
+  Credits burn_all(PeerId peer);
+
+  /// Move credits between peers; returns false (and does nothing) when the
+  /// payer's balance is insufficient. Transfers of 0 succeed trivially.
+  [[nodiscard]] bool transfer(PeerId from, PeerId to, Credits amount);
+
+  /// Move credits from a peer into the treasury (taxation); clamps to the
+  /// available balance and returns the amount actually collected.
+  Credits collect_tax(PeerId peer, Credits amount);
+  /// Move one credit from the treasury to each peer in `recipients`;
+  /// requires treasury >= recipients.size().
+  void redistribute(std::span<const PeerId> recipients);
+
+  [[nodiscard]] Credits balance(PeerId peer) const;
+  [[nodiscard]] Credits treasury() const { return treasury_; }
+  [[nodiscard]] Credits total_minted() const { return minted_; }
+  [[nodiscard]] Credits total_burned() const { return burned_; }
+  /// Lifetime transfer count / volume (for rate accounting).
+  [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
+  [[nodiscard]] Credits transfer_volume() const { return volume_; }
+
+  /// Sum of all balances (O(n)).
+  [[nodiscard]] Credits circulating() const;
+  /// Conservation invariant: circulating + treasury == minted − burned.
+  [[nodiscard]] bool audit() const;
+
+  /// Balances as doubles for the econ metrics, restricted to `alive` slots.
+  [[nodiscard]] std::vector<double> snapshot(
+      std::span<const PeerId> alive) const;
+
+ private:
+  std::vector<Credits> balance_;
+  Credits treasury_ = 0;
+  Credits minted_ = 0;
+  Credits burned_ = 0;
+  std::uint64_t transfers_ = 0;
+  Credits volume_ = 0;
+};
+
+}  // namespace creditflow::p2p

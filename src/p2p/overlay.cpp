@@ -1,0 +1,119 @@
+#include "p2p/overlay.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace creditflow::p2p {
+
+Overlay::Overlay(std::size_t max_peers)
+    : adj_(max_peers), active_(max_peers, false) {
+  CF_EXPECTS(max_peers > 0);
+}
+
+void Overlay::init_from_graph(const graph::Graph& g) {
+  CF_EXPECTS(g.num_nodes() <= adj_.size());
+  for (auto& row : adj_) row.clear();
+  std::fill(active_.begin(), active_.end(), false);
+  active_count_ = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    active_[u] = true;
+    ++active_count_;
+    const auto nbrs = g.neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+bool Overlay::is_active(std::uint32_t peer) const {
+  CF_EXPECTS(peer < adj_.size());
+  return active_[peer];
+}
+
+std::span<const std::uint32_t> Overlay::neighbors(std::uint32_t peer) const {
+  CF_EXPECTS(peer < adj_.size());
+  return adj_[peer];
+}
+
+std::size_t Overlay::degree(std::uint32_t peer) const {
+  CF_EXPECTS(peer < adj_.size());
+  return adj_[peer].size();
+}
+
+std::vector<std::uint32_t> Overlay::active_peers() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(active_count_);
+  for (std::uint32_t p = 0; p < adj_.size(); ++p) {
+    if (active_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+void Overlay::join(std::uint32_t peer, std::size_t target_links,
+                   util::Rng& rng) {
+  CF_EXPECTS(peer < adj_.size());
+  CF_EXPECTS_MSG(!active_[peer], "slot already active");
+  active_[peer] = true;
+  ++active_count_;
+  if (active_count_ == 1) return;  // first peer has nobody to link to
+
+  // Preferential attachment: sample candidates with weight degree+1.
+  const auto candidates = active_peers();
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (auto c : candidates) {
+    weights.push_back(c == peer ? 0.0
+                                : static_cast<double>(adj_[c].size()) + 1.0);
+  }
+  const std::size_t want = std::min(target_links, active_count_ - 1);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < want && attempts < 20 * want + 40) {
+    ++attempts;
+    const std::size_t idx = rng.discrete(weights);
+    if (add_edge(peer, candidates[idx])) {
+      ++added;
+      weights[idx] = 0.0;  // at most one edge per target
+    }
+  }
+}
+
+void Overlay::leave(std::uint32_t peer) {
+  CF_EXPECTS(peer < adj_.size());
+  CF_EXPECTS_MSG(active_[peer], "slot not active");
+  for (auto nbr : adj_[peer]) remove_directed(nbr, peer);
+  adj_[peer].clear();
+  active_[peer] = false;
+  --active_count_;
+}
+
+bool Overlay::add_edge(std::uint32_t a, std::uint32_t b) {
+  CF_EXPECTS(a < adj_.size() && b < adj_.size());
+  CF_EXPECTS_MSG(active_[a] && active_[b], "both endpoints must be active");
+  if (a == b) return false;
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end()) {
+    return false;
+  }
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  return true;
+}
+
+void Overlay::remove_directed(std::uint32_t from, std::uint32_t to) {
+  auto& row = adj_[from];
+  const auto it = std::find(row.begin(), row.end(), to);
+  if (it != row.end()) {
+    *it = row.back();
+    row.pop_back();
+  }
+}
+
+double Overlay::mean_degree() const {
+  if (active_count_ == 0) return 0.0;
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < adj_.size(); ++p) {
+    if (active_[p]) total += adj_[p].size();
+  }
+  return static_cast<double>(total) / static_cast<double>(active_count_);
+}
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,57 @@
+// CreditFlow: dynamic overlay management.
+//
+// The static case wraps a generated scale-free graph. Under churn, joining
+// peers attach preferentially by degree (preserving the scale-free shape, as
+// in the measurement study the paper builds on) and departures remove all
+// incident edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::p2p {
+
+/// Slot-addressed adjacency with join/leave support.
+class Overlay {
+ public:
+  /// Create with a fixed slot capacity; all slots start inactive.
+  explicit Overlay(std::size_t max_peers);
+
+  /// Activate slots 0..g.num_nodes()-1 with the edges of `g`.
+  void init_from_graph(const graph::Graph& g);
+
+  [[nodiscard]] std::size_t capacity() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_active() const { return active_count_; }
+  [[nodiscard]] bool is_active(std::uint32_t peer) const;
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t peer) const;
+  [[nodiscard]] std::size_t degree(std::uint32_t peer) const;
+  /// Active peer ids (stable order; rebuilt on demand).
+  [[nodiscard]] std::vector<std::uint32_t> active_peers() const;
+
+  /// Activate a slot and attach `target_links` edges by preferential
+  /// attachment over current degrees (degree+1 weighting so isolated peers
+  /// remain reachable). Requires the slot to be inactive.
+  void join(std::uint32_t peer, std::size_t target_links, util::Rng& rng);
+
+  /// Deactivate a slot, removing all incident edges.
+  void leave(std::uint32_t peer);
+
+  /// Add one undirected edge between active peers; false on duplicates/self.
+  bool add_edge(std::uint32_t a, std::uint32_t b);
+
+  [[nodiscard]] double mean_degree() const;
+
+ private:
+  void remove_directed(std::uint32_t from, std::uint32_t to);
+
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,57 @@
+// CreditFlow: per-peer protocol state. Balances live in the CreditLedger;
+// everything else a peer carries through the streaming protocol is here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "p2p/chunk.hpp"
+#include "p2p/ledger.hpp"
+
+namespace creditflow::p2p {
+
+/// Mutable state of one peer slot in the streaming market.
+struct PeerState {
+  PeerId id = 0;
+  bool alive = false;
+
+  // Static capabilities (drawn at join).
+  double upload_capacity = 8.0;   ///< chunks per second it can serve
+  double base_spend_rate = 8.0;   ///< μ_i^s, credits per second
+
+  // Lifecycle.
+  double join_time = 0.0;
+  double depart_time = std::numeric_limits<double>::infinity();
+
+  // Chunk availability window.
+  BufferMap buffer{1};
+
+  // Cumulative accounting (monotone; rates derive from deltas).
+  std::uint64_t credits_earned = 0;
+  std::uint64_t credits_spent = 0;
+  std::uint64_t chunks_downloaded = 0;  ///< purchased chunks received
+  std::uint64_t chunks_uploaded = 0;    ///< chunks sold to others
+  std::uint64_t chunks_seeded = 0;      ///< free chunks pushed by the source
+  std::uint64_t failed_affordability = 0;  ///< wanted but lacked credits
+  std::uint64_t failed_availability = 0;   ///< wanted but no seller had it
+
+  /// Seconds spent in the system up to `now`.
+  [[nodiscard]] double age(double now) const { return now - join_time; }
+
+  /// Lifetime average spending rate in credits/sec at time `now`.
+  [[nodiscard]] double lifetime_spend_rate(double now) const {
+    const double a = age(now);
+    return a > 0.0 ? static_cast<double>(credits_spent) / a : 0.0;
+  }
+
+  /// Lifetime average download rate in chunks/sec at time `now` (purchased
+  /// plus seeded).
+  [[nodiscard]] double lifetime_download_rate(double now) const {
+    const double a = age(now);
+    return a > 0.0
+               ? static_cast<double>(chunks_downloaded + chunks_seeded) / a
+               : 0.0;
+  }
+};
+
+}  // namespace creditflow::p2p

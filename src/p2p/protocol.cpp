@@ -1,0 +1,447 @@
+#include "p2p/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace creditflow::p2p {
+
+StreamingProtocol::StreamingProtocol(ProtocolConfig config,
+                                     sim::Simulator& simulator)
+    : cfg_(std::move(config)),
+      sim_(simulator),
+      rng_(cfg_.seed),
+      ledger_(cfg_.max_peers),
+      overlay_(cfg_.max_peers),
+      peers_(cfg_.max_peers),
+      pricing_(econ::make_pricing(cfg_.pricing)),
+      spending_(make_spending_policy(cfg_.spending)),
+      tax_(cfg_.tax) {
+  CF_EXPECTS(cfg_.initial_peers >= 2);
+  CF_EXPECTS(cfg_.initial_peers <= cfg_.max_peers);
+  CF_EXPECTS(cfg_.round_seconds > 0.0);
+  CF_EXPECTS(cfg_.stream_rate > 0.0);
+  CF_EXPECTS(cfg_.window_chunks >= 4);
+  CF_EXPECTS(cfg_.seed_fanout >= 1);
+  CF_EXPECTS(cfg_.upload_capacity > 0.0);
+  CF_EXPECTS(cfg_.base_spend_rate > 0.0);
+  CF_EXPECTS(cfg_.max_purchase_attempts >= 1);
+  if (cfg_.churn.enabled) {
+    CF_EXPECTS(cfg_.churn.arrival_rate > 0.0);
+    CF_EXPECTS(cfg_.churn.mean_lifespan > 0.0);
+    CF_EXPECTS(cfg_.churn.join_links >= 1);
+  }
+  if (cfg_.weight_sellers_by_fill) {
+    cfg_.seller_choice = ProtocolConfig::SellerChoice::kFillWeighted;
+  }
+  if (cfg_.injection.enabled) {
+    CF_EXPECTS(cfg_.injection.interval_seconds > 0.0);
+    CF_EXPECTS(cfg_.injection.credits_per_peer > 0);
+  }
+  upload_budget_.assign(cfg_.max_peers, 0.0);
+  for (PeerId id = 0; id < cfg_.max_peers; ++id) {
+    peers_[id].id = id;
+    peers_[id].buffer = BufferMap(cfg_.window_chunks);
+  }
+}
+
+const PeerState& StreamingProtocol::peer(PeerId id) const {
+  CF_EXPECTS(id < peers_.size());
+  return peers_[id];
+}
+
+std::vector<PeerId> StreamingProtocol::alive_peers() const {
+  return overlay_.active_peers();
+}
+
+ChunkId StreamingProtocol::stream_head() const {
+  // The stream is defined to have been live for one full window before the
+  // market opens, so warm-started buffers have real chunks to hold.
+  return static_cast<ChunkId>(sim_.now() * cfg_.stream_rate) +
+         cfg_.window_chunks;
+}
+
+void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
+  PeerState& p = peers_[id];
+  p.alive = true;
+  p.join_time = now;
+  p.depart_time = std::numeric_limits<double>::infinity();
+  p.upload_capacity = cfg_.heterogeneity.upload_capacity_cv > 0.0
+                          ? rng_.lognormal_mean_cv(
+                                cfg_.upload_capacity,
+                                cfg_.heterogeneity.upload_capacity_cv)
+                          : cfg_.upload_capacity;
+  p.base_spend_rate =
+      cfg_.heterogeneity.spend_rate_cv > 0.0
+          ? rng_.lognormal_mean_cv(cfg_.base_spend_rate,
+                                   cfg_.heterogeneity.spend_rate_cv)
+          : cfg_.base_spend_rate;
+  p.credits_earned = 0;
+  p.credits_spent = 0;
+  p.chunks_downloaded = 0;
+  p.chunks_uploaded = 0;
+  p.chunks_seeded = 0;
+  p.failed_affordability = 0;
+  p.failed_availability = 0;
+  const ChunkId head =
+      static_cast<ChunkId>(now * cfg_.stream_rate) + cfg_.window_chunks;
+  const ChunkId base = head - cfg_.window_chunks;
+  p.buffer.reset(base);
+  // Warm start: join holding most of the current window, as a peer that has
+  // been streaming for a while (or bootstrapped quickly) would.
+  if (cfg_.warm_start_fill > 0.0) {
+    for (ChunkId c = base; c < head; ++c) {
+      if (rng_.bernoulli(cfg_.warm_start_fill)) p.buffer.set(c);
+    }
+  }
+  ledger_.mint(id, cfg_.initial_credits);
+  (void)initial;
+}
+
+void StreamingProtocol::start() {
+  CF_EXPECTS_MSG(!started_, "protocol already started");
+  started_ = true;
+
+  // Static bootstrap overlay: scale-free with the paper's parameters.
+  graph::ScaleFreeParams sf;
+  sf.exponent = 2.5;
+  sf.target_mean_degree = 20.0;
+  auto bootstrap = graph::scale_free(cfg_.initial_peers, sf, rng_);
+  overlay_.init_from_graph(bootstrap);
+  for (PeerId id = 0; id < cfg_.initial_peers; ++id) {
+    activate_peer(id, sim_.now(), /*initial=*/true);
+    // Under churn the bootstrap cohort is mortal too, so the population
+    // settles at arrival_rate × mean_lifespan rather than stacking the
+    // immortal initial peers on top of the churning ones.
+    if (cfg_.churn.enabled) {
+      const double lifespan =
+          rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
+      peers_[id].depart_time = sim_.now() + lifespan;
+      sim_.schedule_after(lifespan, [this, id](double t) {
+        if (peers_[id].alive) handle_departure(id, t);
+      });
+    }
+  }
+
+  sim_.schedule_periodic(sim_.now() + cfg_.round_seconds, cfg_.round_seconds,
+                         [this](double t) { run_round(t); });
+  if (cfg_.churn.enabled) schedule_next_arrival();
+  if (cfg_.injection.enabled) {
+    sim_.schedule_periodic(
+        sim_.now() + cfg_.injection.interval_seconds,
+        cfg_.injection.interval_seconds, [this](double) {
+          for (PeerId id : overlay_.active_peers()) {
+            ledger_.mint(id, cfg_.injection.credits_per_peer);
+          }
+          metrics_.increment("injection.rounds");
+          metrics_.increment("injection.minted",
+                             cfg_.injection.credits_per_peer *
+                                 overlay_.num_active());
+        });
+  }
+}
+
+void StreamingProtocol::schedule_next_arrival() {
+  const double dt = rng_.exponential(cfg_.churn.arrival_rate);
+  sim_.schedule_after(dt, [this](double t) {
+    handle_arrival(t);
+    schedule_next_arrival();
+  });
+}
+
+std::optional<PeerId> StreamingProtocol::find_free_slot() const {
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    if (!peers_[id].alive) return id;
+  }
+  return std::nullopt;
+}
+
+void StreamingProtocol::handle_arrival(double now) {
+  const auto slot = find_free_slot();
+  if (!slot) {
+    // Log once; the counter tracks the rest (repeat warnings would flood
+    // long runs that are intentionally driven at capacity).
+    if (metrics_.counter("churn.arrivals_dropped") == 0) {
+      CF_LOG_WARN("arrival dropped: no free peer slot (capacity "
+                  << peers_.size() << "); further drops counted silently");
+    }
+    metrics_.increment("churn.arrivals_dropped");
+    return;
+  }
+  const PeerId id = *slot;
+  activate_peer(id, now, /*initial=*/false);
+  overlay_.join(id, cfg_.churn.join_links, rng_);
+  metrics_.increment("churn.arrivals");
+
+  const double lifespan = rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
+  peers_[id].depart_time = now + lifespan;
+  sim_.schedule_after(lifespan, [this, id](double t) {
+    if (peers_[id].alive) handle_departure(id, t);
+  });
+}
+
+void StreamingProtocol::handle_departure(PeerId id, double now) {
+  CF_EXPECTS(peers_[id].alive);
+  (void)now;
+  // The departing peer takes its credits out of the market.
+  const Credits taken = ledger_.burn_all(id);
+  metrics_.increment("churn.departures");
+  metrics_.increment("churn.credits_taken", taken);
+  tax_.forget_peer(id);
+  overlay_.leave(id);
+  peers_[id].alive = false;
+}
+
+void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
+  // Chunks created since the previous round get pushed to seed_fanout
+  // random alive peers each, free of charge (the source is the provider).
+  const double prev_time = now - cfg_.round_seconds;
+  const ChunkId prev_head =
+      prev_time <= 0.0
+          ? cfg_.window_chunks
+          : static_cast<ChunkId>(prev_time * cfg_.stream_rate) +
+                cfg_.window_chunks;
+  const auto alive = overlay_.active_peers();
+  if (alive.empty()) return;
+  for (ChunkId c = prev_head; c < head; ++c) {
+    for (std::size_t k = 0; k < cfg_.seed_fanout; ++k) {
+      // Deficit-based seeding: the source prefers starving peers — sample a
+      // few candidates and push to the emptiest buffer, the way a
+      // server-assisted swarm directs its own upload where the swarm is
+      // thinnest. This also keeps bankrupt peers holding something sellable,
+      // so bankruptcy stays an economic state, not an absorbing one.
+      PeerId target = alive[rng_.uniform_index(alive.size())];
+      if (cfg_.deficit_seeding) {
+        for (std::size_t probe = 0; probe < 3; ++probe) {
+          const PeerId other = alive[rng_.uniform_index(alive.size())];
+          if (peers_[other].buffer.count() <
+              peers_[target].buffer.count()) {
+            target = other;
+          }
+        }
+      }
+      if (peers_[target].buffer.set(c)) {
+        ++peers_[target].chunks_seeded;
+      }
+    }
+  }
+}
+
+void StreamingProtocol::run_round(double now) {
+  ++rounds_;
+  const ChunkId head =
+      static_cast<ChunkId>(now * cfg_.stream_rate) + cfg_.window_chunks;
+  const ChunkId window_base = head - cfg_.window_chunks;
+
+  // 1. Advance playback windows and refresh upload budgets.
+  round_order_ = overlay_.active_peers();
+  for (PeerId id : round_order_) {
+    peers_[id].buffer.advance(window_base);
+    upload_budget_[id] = peers_[id].upload_capacity * cfg_.round_seconds;
+  }
+
+  // 2. Source emits and seeds fresh chunks.
+  seed_new_chunks(now, head);
+
+  // 3. Purchase phase in random peer order (fairness).
+  rng_.shuffle(round_order_);
+  for (PeerId id : round_order_) {
+    peer_purchase_phase(id, now);
+  }
+
+  // 4. Taxation redistribution when the treasury is full enough.
+  if (cfg_.tax.enabled && overlay_.num_active() > 0) {
+    while (tax_.try_redistribute(overlay_.num_active())) {
+      const auto alive = overlay_.active_peers();
+      ledger_.redistribute(alive);
+      metrics_.increment("tax.redistributions");
+    }
+  }
+}
+
+void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
+  PeerState& buyer = peers_[buyer_id];
+  if (!buyer.alive) return;  // departed mid-round
+
+  double budget = spending_->round_budget(
+      buyer.base_spend_rate, ledger_.balance(buyer_id), cfg_.round_seconds);
+  if (budget <= 0.0) return;
+
+  auto missing = buyer.buffer.missing();
+  if (missing.empty()) return;
+  const auto neighbors = overlay_.neighbors(buyer_id);
+  if (neighbors.empty()) return;
+
+  // Freshest-first: a fresh chunk stays sellable for the whole window while
+  // a chunk at the eviction edge is nearly worthless, so purchase order is
+  // newest to oldest (the standard mesh-pull priority once playback urgency
+  // is folded into the window itself).
+  std::reverse(missing.begin(), missing.end());
+  if (missing.size() > cfg_.max_purchase_attempts) {
+    missing.resize(cfg_.max_purchase_attempts);
+  }
+
+  // Liquidity management: at or below the reserve, only keep pace with the
+  // stream instead of catching up on backlog. The cap bounds successful
+  // purchases (spending), not scan attempts — availability misses must not
+  // eat the allowance or low-liquidity peers could never refill.
+  std::size_t purchase_cap = missing.size();
+  if (static_cast<double>(ledger_.balance(buyer_id)) <=
+      cfg_.reserve_credits) {
+    const auto keep_pace = static_cast<std::size_t>(
+        std::ceil(cfg_.stream_rate * cfg_.round_seconds));
+    purchase_cap = std::max<std::size_t>(1, keep_pace);
+  }
+
+  std::size_t purchased = 0;
+  for (ChunkId chunk : missing) {
+    if (purchased >= purchase_cap) break;
+    if (budget < 1.0 && budget <= 0.0) break;
+    // Collect neighbor sellers that hold the chunk and still have upload
+    // budget this round; weight by their availability (buffer fill).
+    seller_ids_.clear();
+    seller_weights_.clear();
+    for (PeerId nbr : neighbors) {
+      const PeerState& s = peers_[nbr];
+      if (!s.alive || upload_budget_[nbr] < 1.0) continue;
+      if (!s.buffer.has(chunk)) continue;
+      seller_ids_.push_back(nbr);
+      // Availability-driven routing (the paper's transfer probabilities):
+      // uniform among the neighbors that own the chunk and still have
+      // upload budget. Capacity shapes income only through saturation (the
+      // budget filter above), so λ_i is wealth-independent — the Jackson
+      // structure. The fill-weighted variant instead concentrates demand on
+      // chunk-rich (typically wealthy) peers: the rich-get-richer ablation.
+      seller_weights_.push_back(
+          cfg_.seller_choice == ProtocolConfig::SellerChoice::kFillWeighted
+              ? static_cast<double>(s.buffer.count()) + 1.0
+              : 1.0);
+    }
+    if (seller_ids_.empty()) {
+      ++buyer.failed_availability;
+      continue;
+    }
+    PeerId seller_id = 0;
+    if (cfg_.seller_choice == ProtocolConfig::SellerChoice::kCheapestAsk) {
+      // Procurement auction: every owner quotes its ask; the cheapest wins
+      // (ties broken by scan order, which is neighbor-list order).
+      econ::Credits best = std::numeric_limits<econ::Credits>::max();
+      for (const PeerId candidate : seller_ids_) {
+        const econ::Credits ask = pricing_->price(candidate, chunk);
+        if (ask < best) {
+          best = ask;
+          seller_id = candidate;
+        }
+      }
+    } else {
+      seller_id = seller_ids_[rng_.discrete(seller_weights_)];
+    }
+    const econ::Credits price = pricing_->price(seller_id, chunk);
+
+    if (static_cast<double>(price) > budget) {
+      ++buyer.failed_affordability;
+      continue;  // cheaper chunks later in the window may still fit
+    }
+    if (price > 0 && !ledger_.transfer(buyer_id, seller_id, price)) {
+      ++buyer.failed_affordability;
+      metrics_.increment("market.liquidity_failures");
+      continue;
+    }
+
+    // Delivery.
+    const bool fresh = buyer.buffer.set(chunk);
+    CF_ENSURES_MSG(fresh, "purchased a chunk already held");
+    upload_budget_[seller_id] -= 1.0;
+    budget -= static_cast<double>(price);
+    ++purchased;
+
+    PeerState& seller = peers_[seller_id];
+    buyer.credits_spent += price;
+    seller.credits_earned += price;
+    ++buyer.chunks_downloaded;
+    ++seller.chunks_uploaded;
+    trace_.record(now, buyer_id, seller_id, chunk, price);
+    metrics_.increment("market.transactions");
+    metrics_.increment("market.volume", price);
+
+    // Income taxation above the wealth threshold (Sec. VI-C).
+    if (cfg_.tax.enabled && price > 0) {
+      const auto due =
+          tax_.on_income(seller_id, price, ledger_.balance(seller_id));
+      if (due > 0) {
+        const auto collected = ledger_.collect_tax(seller_id, due);
+        CF_ENSURES_MSG(collected == due,
+                       "tax engine asked for more than the balance");
+        metrics_.increment("tax.collected", collected);
+      }
+    }
+  }
+}
+
+std::vector<double> StreamingProtocol::balance_snapshot() const {
+  const auto alive = overlay_.active_peers();
+  return ledger_.snapshot(alive);
+}
+
+std::vector<double> StreamingProtocol::spend_rate_snapshot() const {
+  const auto alive = overlay_.active_peers();
+  std::vector<double> rates;
+  rates.reserve(alive.size());
+  const double now = sim_.now();
+  for (PeerId id : alive) {
+    rates.push_back(peers_[id].lifetime_spend_rate(now));
+  }
+  return rates;
+}
+
+void StreamingProtocol::begin_rate_window() {
+  spent_marker_.resize(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    spent_marker_[i] = peers_[i].credits_spent;
+  }
+  marker_time_ = sim_.now();
+}
+
+std::vector<double> StreamingProtocol::windowed_spend_rates() const {
+  CF_EXPECTS_MSG(marker_time_ >= 0.0, "begin_rate_window was never called");
+  const double dt = sim_.now() - marker_time_;
+  CF_EXPECTS_MSG(dt > 0.0, "rate window has zero length");
+  const auto alive = overlay_.active_peers();
+  std::vector<double> rates;
+  rates.reserve(alive.size());
+  for (PeerId id : alive) {
+    const auto spent_before =
+        id < spent_marker_.size() ? spent_marker_[id] : 0;
+    const auto spent =
+        peers_[id].credits_spent >= spent_before
+            ? peers_[id].credits_spent - spent_before
+            : peers_[id].credits_spent;  // peer slot recycled mid-window
+    rates.push_back(static_cast<double>(spent) / dt);
+  }
+  return rates;
+}
+
+std::vector<double> StreamingProtocol::download_rate_snapshot() const {
+  const auto alive = overlay_.active_peers();
+  std::vector<double> rates;
+  rates.reserve(alive.size());
+  const double now = sim_.now();
+  for (PeerId id : alive) {
+    rates.push_back(peers_[id].lifetime_download_rate(now));
+  }
+  return rates;
+}
+
+double StreamingProtocol::mean_buffer_fill() const {
+  const auto alive = overlay_.active_peers();
+  if (alive.empty()) return 0.0;
+  double total = 0.0;
+  for (PeerId id : alive) total += peers_[id].buffer.fill();
+  return total / static_cast<double>(alive.size());
+}
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,213 @@
+// CreditFlow: the mesh-pull (UUSee-like) P2P live-streaming protocol with
+// credit-incentivized chunk exchange — the simulation substrate of Sec. VI
+// of the paper, rebuilt in C++.
+//
+// The protocol is round-based on top of the discrete-event simulator:
+// every round the source emits new chunks and seeds a few peers for free;
+// every peer then advances its playback window and tries to *buy* its
+// missing chunks from neighbors that have them, paying the seller's price
+// per chunk from its credit balance. Sellers are bandwidth-limited
+// (upload_capacity chunks/sec) and buyers are budget-limited (their
+// spending policy caps credits/round, and purchases require liquidity).
+// Seller choice is weighted by chunk availability at the neighbors, exactly
+// as the paper configures its transfer probabilities.
+//
+// Optional mechanisms, matching the paper's experiment sections:
+//  * taxation with threshold + redistribution (Sec. VI-C),
+//  * dynamic spending-rate adjustment (Sec. VI-D),
+//  * peer churn — Poisson arrivals, exponential lifespans; arriving peers
+//    mint fresh credits, departing peers take their balance away
+//    (Sec. VI-E, the open-network market).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "econ/pricing.hpp"
+#include "econ/taxation.hpp"
+#include "p2p/ledger.hpp"
+#include "p2p/overlay.hpp"
+#include "p2p/peer.hpp"
+#include "p2p/spending.hpp"
+#include "p2p/trace.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::p2p {
+
+/// Churn (open-market) parameters.
+struct ChurnConfig {
+  bool enabled = false;
+  double arrival_rate = 1.0;    ///< peers per second (Poisson)
+  double mean_lifespan = 500.0; ///< seconds (exponential)
+  std::size_t join_links = 10;  ///< preferential-attachment links per join
+};
+
+/// Heterogeneity of peer capabilities — the lever that makes the utilization
+/// profile asymmetric (Fig. 8) or symmetric (Fig. 7).
+struct HeterogeneityConfig {
+  double upload_capacity_cv = 0.0;  ///< lognormal CV of upload capacity
+  double spend_rate_cv = 0.0;       ///< lognormal CV of base spending rate
+};
+
+/// Full protocol configuration.
+struct ProtocolConfig {
+  std::size_t max_peers = 1536;    ///< slot capacity (churn headroom)
+  std::size_t initial_peers = 1000;
+  Credits initial_credits = 100;   ///< c — each peer's endowment
+
+  double round_seconds = 1.0;
+  double stream_rate = 2.0;        ///< chunks emitted per second
+  std::size_t window_chunks = 48;  ///< playback window size
+  std::size_t seed_fanout = 6;     ///< free copies of each fresh chunk
+
+  /// Mean chunks/sec a peer can serve. The ratio to stream_rate is the
+  /// system's capacity headroom: at ~1.25x the swarm is supply-limited and
+  /// every peer's income saturates near the stream rate (the paper's
+  /// symmetric-utilization streaming case, Sec. V-C); large headroom lets
+  /// high-degree hubs capture unbounded demand and wealth condenses onto
+  /// the "connection-affluent" peers the introduction warns about.
+  double upload_capacity = 2.5;
+  double base_spend_rate = 6.0;    ///< mean μ^s in credits/sec
+  std::size_t max_purchase_attempts = 48;  ///< per peer per round
+
+  /// Fraction of the window each peer starts holding (warm start — the
+  /// market begins in a healthy streaming state instead of a cold-start
+  /// scramble that immediately bankrupts the unlucky).
+  double warm_start_fill = 0.85;
+
+  /// Liquidity management ("a user should strike to maintain its credit
+  /// pool at a healthy level", Sec. III-A): when the balance is at or below
+  /// `reserve_credits`, a peer stops catching up on backlog and only buys
+  /// enough fresh chunks to keep pace with the stream rate. The reserve is
+  /// an absolute amount (a few seconds of playback at mean price), NOT
+  /// proportional to the endowment c — so it stabilizes poor markets while
+  /// leaving rich markets free to drift, which is exactly the
+  /// Gini-grows-with-c behaviour the paper reports.
+  double reserve_credits = 8.0;
+
+  /// Deficit-based seeding: the source pushes fresh chunks toward the
+  /// emptiest buffers (server-assisted swarm). Disabling it reverts to
+  /// uniform-random seeding, removing the income floor that lets bankrupt
+  /// peers recover — one of the "careful design" ingredients whose absence
+  /// the paper's condensed configuration illustrates.
+  bool deficit_seeding = true;
+
+  /// How a buyer picks among the neighbors that own a wanted chunk (and
+  /// still have upload budget):
+  ///  * kAvailabilityUniform — uniform among owners; the paper's
+  ///    availability-driven transfer probabilities (default).
+  ///  * kFillWeighted — weight by the seller's buffer fill; concentrates
+  ///    demand on chunk-rich (typically wealthy) peers — the
+  ///    rich-get-richer ablation behind the paper's Fig. 1 condensed case.
+  ///  * kCheapestAsk — solicit asks and buy from the cheapest owner
+  ///    (first-price procurement auction); the auction-based pricing the
+  ///    paper defers to future work.
+  enum class SellerChoice { kAvailabilityUniform, kFillWeighted, kCheapestAsk };
+  SellerChoice seller_choice = SellerChoice::kAvailabilityUniform;
+
+  /// Back-compat convenience used by older configs/tests: true selects
+  /// kFillWeighted at construction time.
+  bool weight_sellers_by_fill = false;
+
+  /// Credit injection (the "inflation" counter-action the paper's
+  /// introduction warns about): every `interval_seconds`, the system mints
+  /// `credits_per_peer` fresh credits to every alive peer. Keeps poor peers
+  /// liquid at the cost of growing the money supply — the ext02 bench
+  /// quantifies the trade-off.
+  struct InjectionPolicy {
+    bool enabled = false;
+    double interval_seconds = 100.0;
+    Credits credits_per_peer = 1;
+  };
+  InjectionPolicy injection;
+
+  econ::PricingParams pricing;
+  SpendingParams spending;
+  econ::TaxPolicy tax;
+  ChurnConfig churn;
+  HeterogeneityConfig heterogeneity;
+
+  std::uint64_t seed = 42;
+};
+
+/// The protocol engine. Construct, call start(), then drive the Simulator.
+class StreamingProtocol {
+ public:
+  StreamingProtocol(ProtocolConfig config, sim::Simulator& simulator);
+
+  /// Build the overlay, endow peers, and schedule rounds (and churn).
+  void start();
+
+  // ---- Introspection -----------------------------------------------------
+  [[nodiscard]] const ProtocolConfig& config() const { return cfg_; }
+  [[nodiscard]] const CreditLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const Overlay& overlay() const { return overlay_; }
+  [[nodiscard]] const PeerState& peer(PeerId id) const;
+  [[nodiscard]] std::vector<PeerId> alive_peers() const;
+  [[nodiscard]] std::size_t num_alive() const { return overlay_.num_active(); }
+  [[nodiscard]] const econ::TaxationEngine& taxation() const { return tax_; }
+  [[nodiscard]] TransactionTrace& trace() { return trace_; }
+  [[nodiscard]] const TransactionTrace& trace() const { return trace_; }
+  [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Balances of alive peers (order matches alive_peers()).
+  [[nodiscard]] std::vector<double> balance_snapshot() const;
+  /// Lifetime spending rate (credits/sec) of alive peers.
+  [[nodiscard]] std::vector<double> spend_rate_snapshot() const;
+  /// Start a trailing measurement window for windowed_spend_rates().
+  void begin_rate_window();
+  /// Spending rates (credits/sec) of alive peers since begin_rate_window();
+  /// the paper's Fig. 1 "credit spending rate" readout. Requires a window
+  /// opened at a strictly earlier simulation time.
+  [[nodiscard]] std::vector<double> windowed_spend_rates() const;
+  /// Lifetime download rate (chunks/sec) of alive peers.
+  [[nodiscard]] std::vector<double> download_rate_snapshot() const;
+  /// Current chunk at the head of the stream.
+  [[nodiscard]] ChunkId stream_head() const;
+  /// Fraction of the window held, averaged over alive peers (playback
+  /// continuity proxy).
+  [[nodiscard]] double mean_buffer_fill() const;
+
+  /// Rounds executed so far.
+  [[nodiscard]] std::uint64_t rounds_run() const { return rounds_; }
+
+ private:
+  void run_round(double now);
+  void seed_new_chunks(double now, ChunkId head);
+  void peer_purchase_phase(PeerId buyer_id, double now);
+  void schedule_next_arrival();
+  void handle_arrival(double now);
+  void handle_departure(PeerId id, double now);
+  void activate_peer(PeerId id, double now, bool initial);
+  [[nodiscard]] std::optional<PeerId> find_free_slot() const;
+
+  ProtocolConfig cfg_;
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  CreditLedger ledger_;
+  Overlay overlay_;
+  std::vector<PeerState> peers_;
+  std::unique_ptr<econ::PricingScheme> pricing_;
+  std::unique_ptr<SpendingPolicy> spending_;
+  econ::TaxationEngine tax_;
+  TransactionTrace trace_;
+  sim::MetricsRegistry metrics_;
+
+  // Per-round scratch (kept across rounds to avoid reallocation).
+  std::vector<double> upload_budget_;   ///< chunks a peer may still serve
+  std::vector<PeerId> round_order_;
+  std::vector<double> seller_weights_;
+  std::vector<PeerId> seller_ids_;
+
+  // Trailing spend-rate window (begin_rate_window / windowed_spend_rates).
+  std::vector<std::uint64_t> spent_marker_;
+  double marker_time_ = -1.0;
+
+  std::uint64_t rounds_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,28 @@
+#include "p2p/trace.hpp"
+
+namespace creditflow::p2p {
+
+void TransactionTrace::set_keep_records(bool keep) {
+  keep_records_ = keep;
+  if (keep) enabled_ = true;
+}
+
+void TransactionTrace::record(double time, PeerId buyer, PeerId seller,
+                              std::uint64_t chunk, Credits price) {
+  ++count_;
+  volume_ += price;
+  if (!enabled_) return;
+  pair_flows_[pair_key(buyer, seller)] += price;
+  if (keep_records_) {
+    records_.push_back(TransactionRecord{time, buyer, seller, chunk, price});
+  }
+}
+
+void TransactionTrace::clear() {
+  records_.clear();
+  pair_flows_.clear();
+  count_ = 0;
+  volume_ = 0;
+}
+
+}  // namespace creditflow::p2p

@@ -1,0 +1,42 @@
+#include "queueing/mva.hpp"
+
+#include "util/assert.hpp"
+
+namespace creditflow::queueing {
+
+MvaResult exact_mva(std::span<const double> service_demand,
+                    std::uint64_t total_credits) {
+  CF_EXPECTS(!service_demand.empty());
+  double max_d = 0.0;
+  for (double d : service_demand) {
+    CF_EXPECTS_MSG(d >= 0.0, "service demand must be non-negative");
+    max_d = d > max_d ? d : max_d;
+  }
+  CF_EXPECTS_MSG(max_d > 0.0, "at least one positive service demand");
+
+  const std::size_t n = service_demand.size();
+  MvaResult result;
+  result.expected_wealth.assign(n, 0.0);
+  result.mean_wait.assign(n, 0.0);
+
+  // Classic exact MVA recursion on population m = 1..M:
+  //   W_i(m) = d_i (1 + L_i(m-1))
+  //   X(m)   = m / Σ_i W_i(m)
+  //   L_i(m) = X(m) W_i(m)
+  std::vector<double>& l = result.expected_wealth;
+  std::vector<double>& w = result.mean_wait;
+  for (std::uint64_t m = 1; m <= total_credits; ++m) {
+    double total_wait = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = service_demand[i] * (1.0 + l[i]);
+      total_wait += w[i];
+    }
+    CF_ENSURES(total_wait > 0.0);
+    const double x = static_cast<double>(m) / total_wait;
+    for (std::size_t i = 0; i < n; ++i) l[i] = x * w[i];
+    result.throughput_scale = x;
+  }
+  return result;
+}
+
+}  // namespace creditflow::queueing

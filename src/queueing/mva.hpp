@@ -1,0 +1,25 @@
+// CreditFlow: exact Mean Value Analysis for closed single-server Jackson
+// networks. MVA computes expected queue lengths without normalization
+// constants, so it cross-validates the Buzen path (tests assert both agree).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace creditflow::queueing {
+
+/// Result of exact MVA at population M.
+struct MvaResult {
+  std::vector<double> expected_wealth;  ///< E[B_i] per queue
+  std::vector<double> mean_wait;        ///< W_i at the final population
+  double throughput_scale = 0.0;        ///< X with respect to demand units
+};
+
+/// Exact MVA over `service_demand` d_i = v_i / μ_i (the same relative
+/// utilization scale used by ClosedNetwork). Requires at least one positive
+/// demand. Runs in O(N · M).
+[[nodiscard]] MvaResult exact_mva(std::span<const double> service_demand,
+                                  std::uint64_t total_credits);
+
+}  // namespace creditflow::queueing

@@ -1,0 +1,66 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace creditflow::sim {
+
+EventId EventQueue::schedule(double t, Callback cb) {
+  CF_EXPECTS_MSG(cb != nullptr, "null event callback");
+  const EventId id = callbacks_.size();
+  callbacks_.push_back(std::move(cb));
+  alive_.push_back(true);
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= alive_.size() || !alive_[id]) return false;
+  alive_[id] = false;
+  callbacks_[id] = nullptr;
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && !alive_[heap_.front().id]) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+double EventQueue::next_time() const {
+  CF_EXPECTS(!empty());
+  // const_cast-free variant of skip_dead: scan lazily without mutating by
+  // finding the first live entry; the heap root is live after any pop(), so
+  // only cancellations since then can interpose. Clean the heap here too.
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_dead();
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  CF_EXPECTS(!empty());
+  skip_dead();
+  CF_ENSURES(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  Fired fired{e.time, e.id, std::move(callbacks_[e.id])};
+  alive_[e.id] = false;
+  callbacks_[e.id] = nullptr;
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  callbacks_.clear();
+  alive_.clear();
+  live_ = 0;
+}
+
+}  // namespace creditflow::sim

@@ -1,0 +1,72 @@
+// CreditFlow: discrete-event core — a binary-heap event queue with stable
+// FIFO ordering among simultaneous events and O(log n) cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace creditflow::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+/// Priority queue of (time, sequence)-ordered callbacks.
+///
+/// Cancellation is implemented by tombstoning: cancelled entries stay in the
+/// heap and are skipped on pop, so cancel() is O(1) and pop amortizes the
+/// cleanup. The queue reports `size()` as the number of *live* events.
+class EventQueue {
+ public:
+  using Callback = std::function<void(double)>;  ///< receives the fire time
+
+  EventQueue() = default;
+
+  /// Schedule `cb` at absolute time `t`; returns a cancellable id.
+  /// Events at equal times fire in scheduling order.
+  EventId schedule(double t, Callback cb);
+
+  /// Cancel a pending event; returns false when the id already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+  /// Time of the earliest live event; requires !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Pop and return the earliest live event; requires !empty().
+  struct Fired {
+    double time;
+    EventId id;
+    Callback callback;
+  };
+  [[nodiscard]] Fired pop();
+
+  /// Drop every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_dead();
+
+  std::vector<Entry> heap_;
+  // id -> callback; erased on fire/cancel. Vector-backed map keyed densely.
+  std::vector<Callback> callbacks_;
+  std::vector<bool> alive_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace creditflow::sim

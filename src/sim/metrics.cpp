@@ -1,0 +1,57 @@
+#include "sim/metrics.hpp"
+
+#include "util/assert.hpp"
+
+namespace creditflow::sim {
+
+void MetricsRegistry::increment(const std::string& counter, std::uint64_t by) {
+  counters_[counter] += by;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& gauge, double value) {
+  gauges_[gauge] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::record(const std::string& series, double t,
+                             double value) {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(series, util::TimeSeries(series)).first;
+  }
+  it->second.add(t, value);
+}
+
+const util::TimeSeries& MetricsRegistry::series(const std::string& name) const {
+  const auto it = series_.find(name);
+  CF_EXPECTS_MSG(it != series_.end(), "unknown series: " + name);
+  return it->second;
+}
+
+bool MetricsRegistry::has_series(const std::string& name) const {
+  return series_.find(name) != series_.end();
+}
+
+std::vector<std::string> MetricsRegistry::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  series_.clear();
+}
+
+}  // namespace creditflow::sim

@@ -1,0 +1,41 @@
+// CreditFlow: metrics recorder — named counters, gauges and time series
+// collected during simulation runs and exported to reports/benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace creditflow::sim {
+
+/// Central metrics sink for a simulation run.
+///
+/// Counters accumulate monotonically; gauges hold a latest value; series
+/// record (time, value) samples. Lookup is by name; creating on first use.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  void increment(const std::string& counter, std::uint64_t by = 1);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  void set_gauge(const std::string& gauge, double value);
+  [[nodiscard]] double gauge(const std::string& name) const;
+
+  void record(const std::string& series, double t, double value);
+  [[nodiscard]] const util::TimeSeries& series(const std::string& name) const;
+  [[nodiscard]] bool has_series(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::TimeSeries> series_;
+};
+
+}  // namespace creditflow::sim

@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace creditflow::sim {
+
+EventId Simulator::schedule_at(double t, EventQueue::Callback cb) {
+  CF_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::schedule_after(double delay, EventQueue::Callback cb) {
+  CF_EXPECTS(delay >= 0.0);
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+Simulator::PeriodicHandle Simulator::schedule_periodic(
+    double first_at, double interval, std::function<void(double)> cb) {
+  CF_EXPECTS(first_at >= now_);
+  CF_EXPECTS(interval > 0.0);
+  CF_EXPECTS(cb != nullptr);
+  PeriodicHandle handle;
+  auto cancelled = handle.cancelled_;
+  auto task = std::make_shared<std::function<void(double)>>();
+  auto callback = std::move(cb);
+  *task = [this, interval, cancelled, task, callback](double t) {
+    if (*cancelled) return;
+    callback(t);
+    if (*cancelled) return;
+    schedule_at(t + interval, *task);
+  };
+  schedule_at(first_at, *task);
+  return handle;
+}
+
+std::uint64_t Simulator::run_until(double horizon) {
+  CF_EXPECTS(horizon >= now_);
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto fired = queue_.pop();
+    CF_ENSURES_MSG(fired.time >= now_, "event time regressed");
+    now_ = fired.time;
+    fired.callback(fired.time);
+    ++executed;
+  }
+  now_ = horizon;
+  return executed;
+}
+
+bool Simulator::step(double horizon) {
+  if (queue_.empty() || queue_.next_time() > horizon) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.callback(fired.time);
+  return true;
+}
+
+}  // namespace creditflow::sim

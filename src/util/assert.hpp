@@ -1,0 +1,63 @@
+// CreditFlow: contract-checking macros (Core Guidelines I.6/I.8 style).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace creditflow::util {
+
+/// Thrown when a precondition (caller error) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant (library bug) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace creditflow::util
+
+/// Check a caller-facing precondition; throws PreconditionError on violation.
+#define CF_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::creditflow::util::fail_precondition(#cond, __FILE__, __LINE__, {});  \
+  } while (false)
+
+/// Check a caller-facing precondition with an explanatory message.
+#define CF_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::creditflow::util::fail_precondition(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Check an internal invariant; throws InvariantError on violation.
+#define CF_ENSURES(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::creditflow::util::fail_invariant(#cond, __FILE__, __LINE__, {});   \
+  } while (false)
+
+/// Check an internal invariant with an explanatory message.
+#define CF_ENSURES_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::creditflow::util::fail_invariant(#cond, __FILE__, __LINE__, msg);  \
+  } while (false)

@@ -1,0 +1,100 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace creditflow::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  CF_EXPECTS(!series.empty());
+  CF_EXPECTS(options.width >= 16 && options.height >= 4);
+  for (const auto& s : series) {
+    CF_EXPECTS_MSG(s.series != nullptr && !s.series->empty(),
+                   "chart series must be non-empty");
+  }
+
+  // Determine ranges.
+  double x_lo = series[0].series->times().front();
+  double x_hi = x_lo;
+  double y_lo = options.y_min;
+  double y_hi = options.y_max;
+  if (options.y_auto) {
+    y_lo = series[0].series->values().front();
+    y_hi = y_lo;
+  }
+  for (const auto& s : series) {
+    const auto ts = s.series->times();
+    x_lo = std::min(x_lo, ts.front());
+    x_hi = std::max(x_hi, ts.back());
+    if (options.y_auto) {
+      for (double v : s.series->values()) {
+        y_lo = std::min(y_lo, v);
+        y_hi = std::max(y_hi, v);
+      }
+    }
+  }
+  if (y_hi - y_lo < 1e-12) y_hi = y_lo + 1.0;
+  if (x_hi - x_lo < 1e-12) x_hi = x_lo + 1.0;
+
+  // Rasterize.
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const char glyph = kGlyphs[k % sizeof(kGlyphs)];
+    const auto& ts = *series[k].series;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const double xf = (ts.time_at(i) - x_lo) / (x_hi - x_lo);
+      const double yf =
+          std::clamp((ts.value_at(i) - y_lo) / (y_hi - y_lo), 0.0, 1.0);
+      const auto col = std::min(
+          options.width - 1,
+          static_cast<std::size_t>(xf * static_cast<double>(options.width)));
+      const auto row = std::min(
+          options.height - 1,
+          static_cast<std::size_t>((1.0 - yf) *
+                                   static_cast<double>(options.height - 1)));
+      grid[row][col] = glyph;
+    }
+  }
+
+  // Compose with a y-axis.
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  for (std::size_t row = 0; row < options.height; ++row) {
+    const double y =
+        y_hi - (y_hi - y_lo) * static_cast<double>(row) /
+                   static_cast<double>(options.height - 1);
+    out << std::setw(8) << std::fixed << std::setprecision(3) << y << " |"
+        << grid[row] << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(options.width, '-')
+      << '\n';
+  out << std::setw(9) << ' ' << std::fixed << std::setprecision(0) << x_lo;
+  const std::string hi_label = [&] {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(0) << x_hi;
+    return oss.str();
+  }();
+  const std::size_t pad =
+      options.width > hi_label.size() + 8 ? options.width - hi_label.size() - 8
+                                          : 1;
+  out << std::string(pad, ' ') << hi_label << '\n';
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    out << "  " << kGlyphs[k % sizeof(kGlyphs)] << " = " << series[k].label
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace creditflow::util

@@ -1,0 +1,36 @@
+// CreditFlow: terminal line charts. The figure benches complement their
+// tables with a small ASCII rendering of each series so the *shape* the
+// paper plots (convergence, separation of curves, crossovers) is visible
+// directly in the console output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace creditflow::util {
+
+/// Options for render_chart.
+struct ChartOptions {
+  std::size_t width = 72;    ///< plot columns (excluding axis labels)
+  std::size_t height = 16;   ///< plot rows
+  double y_min = 0.0;        ///< fixed lower bound (y_auto overrides)
+  double y_max = 1.0;        ///< fixed upper bound (y_auto overrides)
+  bool y_auto = false;       ///< derive bounds from the data
+  std::string title;
+};
+
+/// One named series; consecutive series get distinct glyphs (*, +, o, x, …).
+struct ChartSeries {
+  std::string label;
+  const TimeSeries* series = nullptr;
+};
+
+/// Render one or more time series into a multi-line ASCII chart with a
+/// y-axis scale, an x-range footer and a glyph legend. Series must be
+/// non-empty and share a comparable x-range (the union is used).
+[[nodiscard]] std::string render_chart(const std::vector<ChartSeries>& series,
+                                       const ChartOptions& options = {});
+
+}  // namespace creditflow::util

@@ -1,0 +1,320 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace creditflow::util {
+
+namespace {
+
+[[nodiscard]] std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // xoshiro requires a non-zero state; SplitMix64 makes all-zero output
+  // astronomically unlikely, but guard anyway.
+  if (std::all_of(s_.begin(), s_.end(), [](auto w) { return w == 0; })) {
+    s_[0] = 0x1234567890abcdefULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+double Rng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CF_EXPECTS(lo < hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  CF_EXPECTS(n > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  __extension__ using U128 = unsigned __int128;
+  std::uint64_t x = next_u64();
+  U128 m = static_cast<U128>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<U128>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CF_EXPECTS(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63, safe
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) {
+  CF_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  CF_EXPECTS(rate > 0.0);
+  double u = uniform();
+  // Avoid log(0): uniform() < 1 always, but 1-u may round to 0 only if u==1.
+  return -std::log1p(-u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= std::numeric_limits<double>::min());
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  CF_EXPECTS(mean > 0.0 && cv >= 0.0);
+  if (cv == 0.0) return mean;
+  const double sigma2 = std::log1p(cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  CF_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Inversion by sequential search.
+    const double l = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Atkinson-style normal approximation with rejection for large means.
+  const double c = 0.767 - 3.36 / mean;
+  const double beta = 3.14159265358979323846 / std::sqrt(3.0 * mean);
+  const double alpha = beta * mean;
+  const double k = std::log(c) - mean - std::log(beta);
+  while (true) {
+    const double u = uniform();
+    if (u <= 0.0 || u >= 1.0) continue;
+    const double x = (alpha - std::log((1.0 - u) / u)) / beta;
+    const double n = std::floor(x + 0.5);
+    if (n < 0.0) continue;
+    const double v = uniform();
+    if (v <= 0.0) continue;
+    const double y = alpha - beta * x;
+    const double lhs = y + std::log(v / ((1.0 + std::exp(y)) * (1.0 + std::exp(y))));
+    const double rhs = k + n * std::log(mean) - std::lgamma(n + 1.0);
+    if (lhs <= rhs) return static_cast<std::uint64_t>(n);
+  }
+}
+
+std::uint64_t Rng::geometric(double p) {
+  CF_EXPECTS(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  const double u = uniform();
+  return static_cast<std::uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+double Rng::power_law(double alpha, double xmin, double xmax) {
+  CF_EXPECTS(alpha > 1.0);
+  CF_EXPECTS(xmin > 0.0 && xmin < xmax);
+  // Inverse CDF of truncated Pareto.
+  const double a1 = 1.0 - alpha;
+  const double lo = std::pow(xmin, a1);
+  const double hi = std::pow(xmax, a1);
+  const double u = uniform();
+  return std::pow(lo + u * (hi - lo), 1.0 / a1);
+}
+
+std::uint64_t Rng::power_law_int(double alpha, std::uint64_t dmin,
+                                 std::uint64_t dmax) {
+  CF_EXPECTS(dmin >= 1 && dmin <= dmax);
+  if (dmin == dmax) return dmin;
+  // Continuous approximation with rounding, accepted via discrete correction.
+  // For the modest ranges used in overlays a direct CDF inversion over the
+  // (dmax - dmin + 1) support is exact and cheap enough when the range is
+  // small; fall back to continuous sampling for wide ranges.
+  const std::uint64_t range = dmax - dmin + 1;
+  if (range <= 4096) {
+    double total = 0.0;
+    for (std::uint64_t d = dmin; d <= dmax; ++d)
+      total += std::pow(static_cast<double>(d), -alpha);
+    double u = uniform() * total;
+    for (std::uint64_t d = dmin; d <= dmax; ++d) {
+      u -= std::pow(static_cast<double>(d), -alpha);
+      if (u <= 0.0) return d;
+    }
+    return dmax;
+  }
+  const double x = power_law(alpha, static_cast<double>(dmin),
+                             static_cast<double>(dmax) + 1.0);
+  return std::min(dmax, static_cast<std::uint64_t>(std::floor(x)));
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  CF_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CF_EXPECTS_MSG(w >= 0.0, "negative weight");
+    total += w;
+  }
+  CF_EXPECTS_MSG(total > 0.0, "all weights zero");
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  // Rounding may leave u marginally positive; return last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  CF_EXPECTS(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    CF_EXPECTS_MSG(w >= 0.0, "negative weight");
+    total += w;
+  }
+  CF_EXPECTS_MSG(total > 0.0, "all weights zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numeric leftovers
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  CF_EXPECTS(!prob_.empty());
+  const std::size_t i = rng.uniform_index(prob_.size());
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+FenwickSampler::FenwickSampler(std::size_t n) { resize(n); }
+
+void FenwickSampler::resize(std::size_t n) {
+  tree_.assign(n + 1, 0.0);
+  weights_.assign(n, 0.0);
+}
+
+void FenwickSampler::set(std::size_t i, double w) {
+  CF_EXPECTS(i < weights_.size());
+  CF_EXPECTS_MSG(w >= 0.0, "negative weight");
+  const double delta = w - weights_[i];
+  if (delta == 0.0) return;
+  weights_[i] = w;
+  for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+double FenwickSampler::get(std::size_t i) const {
+  CF_EXPECTS(i < weights_.size());
+  return weights_[i];
+}
+
+double FenwickSampler::total() const {
+  double sum = 0.0;
+  // Total = prefix sum over the whole array.
+  std::size_t j = weights_.size();
+  while (j > 0) {
+    sum += tree_[j];
+    j -= j & (~j + 1);
+  }
+  return sum;
+}
+
+std::size_t FenwickSampler::upper_bound(double x) const {
+  // Find smallest index i such that prefix_sum(i+1) > x.
+  std::size_t pos = 0;
+  std::size_t bitmask = 1;
+  while ((bitmask << 1) <= weights_.size()) bitmask <<= 1;
+  for (; bitmask != 0; bitmask >>= 1) {
+    const std::size_t next = pos + bitmask;
+    if (next < tree_.size() && tree_[next] <= x) {
+      x -= tree_[next];
+      pos = next;
+    }
+  }
+  return pos;  // 0-based index of the selected weight
+}
+
+std::size_t FenwickSampler::sample(Rng& rng) const {
+  const double t = total();
+  CF_EXPECTS_MSG(t > 0.0, "cannot sample from all-zero weights");
+  double x = rng.uniform() * t;
+  std::size_t i = upper_bound(x);
+  if (i >= weights_.size()) i = weights_.size() - 1;
+  // Skip any zero-weight landing caused by floating point edge cases.
+  while (i > 0 && weights_[i] == 0.0) --i;
+  if (weights_[i] == 0.0) {
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      if (weights_[j] > 0.0) return j;
+    }
+  }
+  return i;
+}
+
+}  // namespace creditflow::util

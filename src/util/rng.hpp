@@ -1,0 +1,155 @@
+// CreditFlow: deterministic pseudo-random generation for simulations.
+//
+// All stochastic components of the library draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed. The core generator is
+// xoshiro256** (public domain, Blackman & Vigna), seeded through SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace creditflow::util {
+
+/// SplitMix64 stream; used to expand seeds and derive independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  [[nodiscard]] std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator with a rich distribution toolkit.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, though the member samplers below are preferred (stable
+/// results across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion; any 64-bit value (including 0) is fine.
+  explicit Rng(std::uint64_t seed = 0x9d2c5680cafe4321ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Raw 64 random bits.
+  result_type operator()() { return next_u64(); }
+  std::uint64_t next_u64();
+
+  /// Derive an independent generator (distinct logical stream).
+  [[nodiscard]] Rng split();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+  /// Uniform double in [lo, hi); requires lo < hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [0, n); requires n > 0. Unbiased (Lemire rejection).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponential with given rate (mean 1/rate); requires rate > 0.
+  [[nodiscard]] double exponential(double rate);
+  /// Standard normal via Box-Muller (cached second variate).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0);
+  /// Log-normal such that the *mean* of the variate is `mean` and the
+  /// coefficient of variation is `cv`; requires mean > 0, cv >= 0.
+  [[nodiscard]] double lognormal_mean_cv(double mean, double cv);
+  /// Poisson with the given mean >= 0 (inversion for small, PTRD-style
+  /// normal-approximation rejection for large means).
+  [[nodiscard]] std::uint64_t poisson(double mean);
+  /// Geometric on {0,1,2,...} with success probability p in (0, 1].
+  [[nodiscard]] std::uint64_t geometric(double p);
+  /// Pareto/power-law sample: continuous density f(x) ∝ x^-alpha on
+  /// [xmin, xmax]; requires alpha > 1, 0 < xmin < xmax.
+  [[nodiscard]] double power_law(double alpha, double xmin, double xmax);
+  /// Discrete power-law degree sample: P(D=d) ∝ d^-alpha, d in [dmin, dmax].
+  [[nodiscard]] std::uint64_t power_law_int(double alpha, std::uint64_t dmin,
+                                            std::uint64_t dmax);
+
+  /// Sample an index proportionally to non-negative `weights`
+  /// (linear scan; use AliasTable/FenwickSampler for repeated draws).
+  /// Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t discrete(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element; requires non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> v) {
+    CF_EXPECTS(!v.empty());
+    return v[uniform_index(v.size())];
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Static alias table for O(1) sampling from a fixed discrete distribution.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  /// Build from non-negative weights with a positive sum.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+/// Fenwick-tree-backed sampler over mutable non-negative weights:
+/// O(log n) update and O(log n) weighted sample. Used by the CTMC simulator
+/// where per-queue rates switch on/off as queues empty and fill.
+class FenwickSampler {
+ public:
+  /// Create with n zero weights.
+  explicit FenwickSampler(std::size_t n = 0);
+
+  void resize(std::size_t n);
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+
+  /// Set weight of index i (>= 0).
+  void set(std::size_t i, double w);
+  [[nodiscard]] double get(std::size_t i) const;
+  /// Sum of all weights.
+  [[nodiscard]] double total() const;
+  /// Sample index i with probability weight_i / total(); requires total()>0.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  [[nodiscard]] std::size_t upper_bound(double x) const;
+
+  std::vector<double> tree_;     // 1-based Fenwick prefix sums
+  std::vector<double> weights_;  // raw weights for get()/set deltas
+};
+
+}  // namespace creditflow::util

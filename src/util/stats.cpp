@@ -1,0 +1,208 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace creditflow::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  CF_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+double quantile(std::span<const double> data, double q) {
+  CF_EXPECTS(!data.empty());
+  CF_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> quantiles(std::span<const double> data,
+                              std::span<const double> qs) {
+  CF_EXPECTS(!data.empty());
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    CF_EXPECTS(q >= 0.0 && q <= 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  CF_EXPECTS(lo < hi);
+  CF_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  CF_EXPECTS(weight >= 0.0);
+  const double w = bin_width();
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / w));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0.0;
+}
+
+double Histogram::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::count(std::size_t bin) const {
+  CF_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::center(std::size_t bin) const {
+  CF_EXPECTS(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ <= 0.0) return d;
+  const double norm = total_ * bin_width();
+  for (std::size_t i = 0; i < counts_.size(); ++i) d[i] = counts_[i] / norm;
+  return d;
+}
+
+void TimeSeries::add(double t, double v) {
+  CF_EXPECTS_MSG(t_.empty() || t >= t_.back(), "time must be non-decreasing");
+  t_.push_back(t);
+  v_.push_back(v);
+}
+
+void TimeSeries::clear() {
+  t_.clear();
+  v_.clear();
+}
+
+double TimeSeries::time_at(std::size_t i) const {
+  CF_EXPECTS(i < t_.size());
+  return t_[i];
+}
+
+double TimeSeries::value_at(std::size_t i) const {
+  CF_EXPECTS(i < v_.size());
+  return v_[i];
+}
+
+double TimeSeries::last_value() const {
+  CF_EXPECTS(!v_.empty());
+  return v_.back();
+}
+
+double TimeSeries::tail_mean(double fraction) const {
+  CF_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  CF_EXPECTS(!empty());
+  const double t_start =
+      t_.back() - fraction * (t_.back() - t_.front());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] >= t_start) {
+      sum += v_[i];
+      ++n;
+    }
+  }
+  return n == 0 ? v_.back() : sum / static_cast<double>(n);
+}
+
+double TimeSeries::tail_oscillation(double fraction) const {
+  CF_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  CF_EXPECTS(!empty());
+  const double t_start = t_.back() - fraction * (t_.back() - t_.front());
+  double worst = 0.0;
+  bool prev_set = false;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] < t_start) continue;
+    if (prev_set) worst = std::max(worst, std::abs(v_[i] - prev));
+    prev = v_[i];
+    prev_set = true;
+  }
+  return worst;
+}
+
+}  // namespace creditflow::util

@@ -1,0 +1,124 @@
+// CreditFlow: summary statistics, histograms and time series used by the
+// simulator's metrics layer and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace creditflow::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  /// Population variance (n denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average with configurable smoothing.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  void reset();
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  /// Current smoothed value; 0 before the first observation.
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// q in [0,1]; requires non-empty data. Does not modify the input.
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// All requested quantiles with a single sort.
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> data,
+                                            std::span<const double> qs);
+
+/// Fixed-width binned histogram over [lo, hi); out-of-range samples are
+/// clamped into the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  void reset();
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const;
+  [[nodiscard]] double count(std::size_t bin) const;
+  [[nodiscard]] double total() const { return total_; }
+  /// Midpoint of a bin.
+  [[nodiscard]] double center(std::size_t bin) const;
+  /// Normalized density estimate per bin (integrates to ~1).
+  [[nodiscard]] std::vector<double> density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// A (time, value) series with basic reductions; the metrics recorder and the
+/// figure benches exchange these.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double t, double v);
+  void clear();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return t_.size(); }
+  [[nodiscard]] bool empty() const { return t_.empty(); }
+  [[nodiscard]] std::span<const double> times() const { return t_; }
+  [[nodiscard]] std::span<const double> values() const { return v_; }
+  [[nodiscard]] double time_at(std::size_t i) const;
+  [[nodiscard]] double value_at(std::size_t i) const;
+  [[nodiscard]] double last_value() const;
+  /// Mean of values over the last `fraction` of the time span (for
+  /// "converged value" readouts); fraction in (0, 1].
+  [[nodiscard]] double tail_mean(double fraction) const;
+  /// Largest |v(t2)-v(t1)| between consecutive points in the tail window;
+  /// a small value indicates the series has settled.
+  [[nodiscard]] double tail_oscillation(double fraction) const;
+
+ private:
+  std::string name_;
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+}  // namespace creditflow::util

@@ -1,0 +1,81 @@
+// Tests for util/chart: ASCII rendering of time series.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/chart.hpp"
+
+namespace creditflow::util {
+namespace {
+
+TimeSeries ramp(double slope, std::size_t n = 20) {
+  TimeSeries ts("ramp");
+  for (std::size_t i = 0; i < n; ++i) {
+    ts.add(static_cast<double>(i), slope * static_cast<double>(i));
+  }
+  return ts;
+}
+
+TEST(Chart, RendersTitleAxisAndLegend) {
+  const auto ts = ramp(0.05);
+  ChartOptions opts;
+  opts.title = "demo chart";
+  const auto out = render_chart({{"gini", &ts}}, opts);
+  EXPECT_NE(out.find("demo chart"), std::string::npos);
+  EXPECT_NE(out.find("* = gini"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Chart, GlyphsDifferAcrossSeries) {
+  const auto a = ramp(0.01);
+  const auto b = ramp(0.04);
+  const auto out = render_chart({{"a", &a}, {"b", &b}});
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("+ = b"), std::string::npos);
+}
+
+TEST(Chart, IncreasingSeriesOccupiesTopRight) {
+  const auto ts = ramp(0.05);  // ends at ~0.95 with default [0,1] bounds
+  const auto out = render_chart({{"x", &ts}});
+  // First grid row (top) should contain a glyph near its right end.
+  const auto first_line_end = out.find('\n');
+  const auto second_line = out.substr(0, first_line_end);
+  // Top row corresponds to y_max; the ramp reaches it at the far right.
+  EXPECT_NE(second_line.find('*'), std::string::npos);
+}
+
+TEST(Chart, AutoBoundsCoverData) {
+  TimeSeries ts("big");
+  ts.add(0.0, 100.0);
+  ts.add(1.0, 300.0);
+  ChartOptions opts;
+  opts.y_auto = true;
+  const auto out = render_chart({{"big", &ts}}, opts);
+  EXPECT_NE(out.find("300.000"), std::string::npos);
+  EXPECT_NE(out.find("100.000"), std::string::npos);
+}
+
+TEST(Chart, FlatSeriesDoesNotDivideByZero) {
+  TimeSeries ts("flat");
+  ts.add(0.0, 0.5);
+  ts.add(1.0, 0.5);
+  ChartOptions opts;
+  opts.y_auto = true;
+  EXPECT_NO_THROW((void)render_chart({{"flat", &ts}}, opts));
+}
+
+TEST(Chart, RejectsEmptySeries) {
+  TimeSeries empty("e");
+  EXPECT_THROW((void)render_chart({{"e", &empty}}), PreconditionError);
+  EXPECT_THROW((void)render_chart({}), PreconditionError);
+}
+
+TEST(Chart, RejectsTinyCanvas) {
+  const auto ts = ramp(0.01);
+  ChartOptions opts;
+  opts.width = 4;
+  EXPECT_THROW((void)render_chart({{"x", &ts}}, opts), PreconditionError);
+}
+
+}  // namespace
+}  // namespace creditflow::util

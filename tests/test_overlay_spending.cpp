@@ -1,0 +1,154 @@
+// Tests for p2p/overlay (dynamic membership) and p2p/spending policies.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "p2p/overlay.hpp"
+#include "p2p/spending.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::p2p {
+namespace {
+
+TEST(Overlay, InitFromGraph) {
+  util::Rng rng(1);
+  const auto g = graph::ring_lattice(10, 1);
+  Overlay o(16);
+  o.init_from_graph(g);
+  EXPECT_EQ(o.num_active(), 10u);
+  EXPECT_TRUE(o.is_active(0));
+  EXPECT_FALSE(o.is_active(12));
+  EXPECT_EQ(o.degree(0), 2u);
+  EXPECT_DOUBLE_EQ(o.mean_degree(), 2.0);
+}
+
+TEST(Overlay, JoinAttachesRequestedLinks) {
+  util::Rng rng(2);
+  const auto g = graph::complete(6);
+  Overlay o(10);
+  o.init_from_graph(g);
+  o.join(7, 3, rng);
+  EXPECT_TRUE(o.is_active(7));
+  EXPECT_EQ(o.degree(7), 3u);
+  EXPECT_EQ(o.num_active(), 7u);
+  // Bidirectional edges.
+  for (auto nbr : o.neighbors(7)) {
+    bool found = false;
+    for (auto back : o.neighbors(nbr)) {
+      if (back == 7) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Overlay, JoinCapsAtPopulation) {
+  util::Rng rng(3);
+  Overlay o(5);
+  const auto g = graph::complete(2);
+  o.init_from_graph(g);
+  o.join(4, 10, rng);  // only 2 possible targets
+  EXPECT_EQ(o.degree(4), 2u);
+}
+
+TEST(Overlay, FirstJoinHasNoNeighbors) {
+  util::Rng rng(4);
+  Overlay o(3);
+  o.join(1, 5, rng);
+  EXPECT_TRUE(o.is_active(1));
+  EXPECT_EQ(o.degree(1), 0u);
+}
+
+TEST(Overlay, LeaveRemovesEdgesBothSides) {
+  util::Rng rng(5);
+  const auto g = graph::complete(4);
+  Overlay o(4);
+  o.init_from_graph(g);
+  o.leave(2);
+  EXPECT_FALSE(o.is_active(2));
+  EXPECT_EQ(o.num_active(), 3u);
+  EXPECT_EQ(o.degree(2), 0u);
+  for (auto p : {0u, 1u, 3u}) {
+    for (auto nbr : o.neighbors(p)) EXPECT_NE(nbr, 2u);
+    EXPECT_EQ(o.degree(p), 2u);
+  }
+}
+
+TEST(Overlay, RejoinAfterLeave) {
+  util::Rng rng(6);
+  const auto g = graph::complete(4);
+  Overlay o(4);
+  o.init_from_graph(g);
+  o.leave(1);
+  o.join(1, 2, rng);
+  EXPECT_TRUE(o.is_active(1));
+  EXPECT_EQ(o.degree(1), 2u);
+}
+
+TEST(Overlay, DoubleLeaveThrows) {
+  util::Rng rng(7);
+  const auto g = graph::complete(3);
+  Overlay o(3);
+  o.init_from_graph(g);
+  o.leave(0);
+  EXPECT_THROW(o.leave(0), util::PreconditionError);
+}
+
+TEST(Overlay, PreferentialAttachmentFavorsHighDegree) {
+  util::Rng rng(8);
+  // Star: node 0 has degree 9, leaves have degree 1. New joiners with one
+  // link should predominantly attach to the hub.
+  const auto g = graph::star(10);
+  int hub_attachments = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    Overlay o(11);
+    o.init_from_graph(g);
+    o.join(10, 1, rng);
+    for (auto nbr : o.neighbors(10)) {
+      if (nbr == 0) ++hub_attachments;
+    }
+  }
+  // Hub weight = (9+1)/(9+1 + 9*(1+1)) ~ 0.36 ≥ uniform 0.1.
+  EXPECT_GT(hub_attachments, trials / 5);
+}
+
+TEST(Overlay, ActivePeersList) {
+  util::Rng rng(9);
+  const auto g = graph::complete(3);
+  Overlay o(5);
+  o.init_from_graph(g);
+  o.leave(1);
+  const auto active = o.active_peers();
+  EXPECT_EQ(active, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(FixedSpending, BudgetIsRateTimesRound) {
+  FixedSpending policy;
+  EXPECT_DOUBLE_EQ(policy.round_budget(4.0, 0, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(policy.round_budget(4.0, 1000000, 2.0), 8.0);
+}
+
+TEST(DynamicSpending, MatchesPaperRule) {
+  // μ_i = μ_s B/m above the threshold, μ_s below (Sec. VI-D).
+  DynamicSpending policy(100.0);
+  EXPECT_DOUBLE_EQ(policy.round_budget(4.0, 50, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(policy.round_budget(4.0, 100, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(policy.round_budget(4.0, 200, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(policy.round_budget(4.0, 1000, 1.0), 40.0);
+}
+
+TEST(DynamicSpending, RejectsNonPositiveThreshold) {
+  EXPECT_THROW(DynamicSpending(0.0), util::PreconditionError);
+}
+
+TEST(MakeSpendingPolicy, Dispatch) {
+  SpendingParams fixed;
+  EXPECT_EQ(make_spending_policy(fixed)->name(), "fixed");
+  SpendingParams dynamic;
+  dynamic.dynamic = true;
+  dynamic.dynamic_threshold = 42.0;
+  EXPECT_NE(make_spending_policy(dynamic)->name().find("dynamic"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace creditflow::p2p

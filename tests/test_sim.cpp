@@ -1,0 +1,177 @@
+// Tests for sim/event_queue, sim/simulator, sim/metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace creditflow::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&](double) { fired.push_back(3); });
+  q.schedule(1.0, [&](double) { fired.push_back(1); });
+  q.schedule(2.0, [&](double) { fired.push_back(2); });
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.callback(f.time);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&fired, i](double) { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.callback(f.time);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(1.0, [&](double) { fired = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+}
+
+TEST(EventQueue, CancelledEventsSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  const auto a = q.schedule(1.0, [&](double) { fired.push_back(1); });
+  q.schedule(2.0, [&](double) { fired.push_back(2); });
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  auto f = q.pop();
+  f.callback(f.time);
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(0.0, nullptr), util::PreconditionError);
+}
+
+TEST(Simulator, RunsToHorizonAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&](double) { ++count; });
+  sim.schedule_at(5.0, [&](double) { ++count; });
+  sim.schedule_at(100.0, [&](double) { ++count; });
+  const auto executed = sim.run_until(10.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  // The 100.0 event is still pending.
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, CallbacksScheduleMoreWork) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void(double)> chain = [&](double t) {
+    times.push_back(t);
+    if (times.size() < 4) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.5, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.5, 2.5, 3.5}));
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule_at(1.0, [](double) {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(2.0, [](double) {}),
+               util::PreconditionError);
+}
+
+TEST(Simulator, PeriodicFiresAtInterval) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_periodic(1.0, 2.0, [&](double t) { times.push_back(t); });
+  sim.run_until(7.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(Simulator, PeriodicCancelStops) {
+  Simulator sim;
+  int count = 0;
+  auto handle =
+      sim.schedule_periodic(1.0, 1.0, [&](double) { ++count; });
+  sim.schedule_at(3.5, [&](double) { handle.cancel(); });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);  // fired at 1, 2, 3
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(2.0, [&](double) { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(5.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&](double) { ++count; });
+  sim.schedule_at(2.0, [&](double) { ++count; });
+  EXPECT_TRUE(sim.step(10.0));
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step(10.0));
+  EXPECT_FALSE(sim.step(10.0));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry m;
+  m.increment("a");
+  m.increment("a", 4);
+  EXPECT_EQ(m.counter("a"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+}
+
+TEST(Metrics, GaugesHoldLatest) {
+  MetricsRegistry m;
+  m.set_gauge("g", 1.5);
+  m.set_gauge("g", 2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("g"), 2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("missing"), 0.0);
+}
+
+TEST(Metrics, SeriesRecording) {
+  MetricsRegistry m;
+  m.record("s", 0.0, 1.0);
+  m.record("s", 1.0, 2.0);
+  EXPECT_TRUE(m.has_series("s"));
+  EXPECT_EQ(m.series("s").size(), 2u);
+  EXPECT_THROW((void)m.series("missing"), util::PreconditionError);
+  EXPECT_EQ(m.series_names(), (std::vector<std::string>{"s"}));
+}
+
+TEST(Metrics, ClearResetsEverything) {
+  MetricsRegistry m;
+  m.increment("c");
+  m.set_gauge("g", 1.0);
+  m.record("s", 0.0, 0.0);
+  m.clear();
+  EXPECT_EQ(m.counter("c"), 0u);
+  EXPECT_FALSE(m.has_series("s"));
+}
+
+}  // namespace
+}  // namespace creditflow::sim

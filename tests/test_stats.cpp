@@ -1,0 +1,173 @@
+// Tests for util/stats: running statistics, quantiles, histograms, EWMA and
+// time series reductions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace creditflow::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(rs.cv(), 0.4);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.add(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, FirstValueInitializes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.initialized());
+  e.add(42.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), PreconditionError);
+  EXPECT_THROW(Ewma(1.5), PreconditionError);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantiles, BatchMatchesSingle) {
+  const std::vector<double> v = {9.0, 2.0, 7.0, 4.0, 1.0, 8.0};
+  const std::vector<double> qs = {0.1, 0.5, 0.9};
+  const auto batch = quantiles(v, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(v, qs[i]));
+  }
+}
+
+TEST(Histogram, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 1.7, 5.0, 9.9}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);  // 0.5, 1.5, 1.7 in [0,2)
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);  // 5.0 in [4,6)
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);  // 9.9 in [8,10)
+  const auto d = h.density();
+  double mass = 0.0;
+  for (double di : d) mass += di * h.bin_width();
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, CenterComputation) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.center(4), 9.0);
+}
+
+TEST(TimeSeries, AddAndAccess) {
+  TimeSeries ts("x");
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 2.0);
+  ts.add(2.0, 3.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.time_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2), 3.0);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 3.0);
+  EXPECT_EQ(ts.name(), "x");
+}
+
+TEST(TimeSeries, RejectsTimeRegression) {
+  TimeSeries ts;
+  ts.add(5.0, 0.0);
+  EXPECT_THROW(ts.add(4.0, 0.0), PreconditionError);
+  ts.add(5.0, 1.0);  // equal time is allowed
+}
+
+TEST(TimeSeries, TailMean) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) ts.add(i, i < 8 ? 0.0 : 10.0);
+  // Tail fraction 0.2 covers t >= 8: values 10,10,10.
+  EXPECT_DOUBLE_EQ(ts.tail_mean(0.2), 10.0);
+  // Full window mean.
+  EXPECT_NEAR(ts.tail_mean(1.0), 30.0 / 11.0, 1e-12);
+}
+
+TEST(TimeSeries, TailOscillationDetectsSettling) {
+  TimeSeries settled;
+  TimeSeries swinging;
+  for (int i = 0; i <= 100; ++i) {
+    settled.add(i, i < 50 ? static_cast<double>(i) : 50.0);
+    swinging.add(i, i % 2 == 0 ? 0.0 : 8.0);
+  }
+  EXPECT_DOUBLE_EQ(settled.tail_oscillation(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(swinging.tail_oscillation(0.3), 8.0);
+}
+
+}  // namespace
+}  // namespace creditflow::util

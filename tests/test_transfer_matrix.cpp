@@ -1,0 +1,122 @@
+// Tests for queueing/transfer_matrix: stochasticity, irreducibility, and
+// the graph-based builders.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "queueing/transfer_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::queueing {
+namespace {
+
+TEST(TransferMatrix, SetRowMergesDuplicates) {
+  TransferMatrix p(3);
+  p.set_row(0, {{1, 0.3}, {1, 0.2}, {2, 0.5}});
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(p.at(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(p.row_sum(0), 1.0);
+}
+
+TEST(TransferMatrix, RejectsNegativeProbability) {
+  TransferMatrix p(2);
+  EXPECT_THROW(p.set_row(0, {{1, -0.1}}), util::PreconditionError);
+}
+
+TEST(TransferMatrix, RejectsOutOfRangeColumn) {
+  TransferMatrix p(2);
+  EXPECT_THROW(p.set_row(0, {{5, 0.5}}), util::PreconditionError);
+}
+
+TEST(TransferMatrix, StochasticChecks) {
+  TransferMatrix p(2);
+  p.set_row(0, {{0, 0.5}, {1, 0.5}});
+  p.set_row(1, {{0, 1.0}});
+  EXPECT_TRUE(p.is_stochastic());
+  EXPECT_TRUE(p.is_substochastic());
+
+  TransferMatrix q(2);
+  q.set_row(0, {{0, 0.5}, {1, 0.3}});
+  q.set_row(1, {{0, 1.0}});
+  EXPECT_FALSE(q.is_stochastic());
+  EXPECT_TRUE(q.is_substochastic());
+}
+
+TEST(TransferMatrix, IrreducibleRing) {
+  TransferMatrix p(3);
+  p.set_row(0, {{1, 1.0}});
+  p.set_row(1, {{2, 1.0}});
+  p.set_row(2, {{0, 1.0}});
+  EXPECT_TRUE(p.is_irreducible());
+}
+
+TEST(TransferMatrix, ReducibleChainDetected) {
+  TransferMatrix p(3);
+  p.set_row(0, {{1, 1.0}});
+  p.set_row(1, {{1, 1.0}});  // absorbing at 1: cannot return to 0
+  p.set_row(2, {{0, 1.0}});
+  EXPECT_FALSE(p.is_irreducible());
+}
+
+TEST(TransferMatrix, LeftMultiplyMatchesDense) {
+  util::Rng rng(3);
+  const auto g = graph::erdos_renyi(20, 0.3, rng);
+  const auto p = TransferMatrix::random_from_graph(g, rng);
+  const std::vector<double> x(20, 1.0 / 20.0);
+  const auto sparse = p.left_multiply(x);
+  const auto dense = p.to_dense().left_multiply(x);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(sparse[i], dense[i], 1e-14);
+  }
+}
+
+TEST(TransferMatrix, UniformFromGraphRowsStochastic) {
+  util::Rng rng(5);
+  const auto g = graph::ring_lattice(12, 2);
+  const auto p = TransferMatrix::uniform_from_graph(g, 0.2);
+  EXPECT_TRUE(p.is_stochastic());
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 0.2);  // (1-0.2)/4 neighbors
+  EXPECT_TRUE(p.is_irreducible());
+}
+
+TEST(TransferMatrix, UniformFromGraphIsolatedNodeSelfLoops) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  const auto p = TransferMatrix::uniform_from_graph(g);
+  EXPECT_DOUBLE_EQ(p.at(2, 2), 1.0);
+  EXPECT_TRUE(p.is_stochastic());
+}
+
+TEST(TransferMatrix, WeightedFromGraphFollowsWeights) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const std::vector<double> w = {1.0, 3.0, 1.0};
+  const auto p = TransferMatrix::weighted_from_graph(g, w);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(p.at(0, 2), 0.25);
+  EXPECT_TRUE(p.is_stochastic());
+}
+
+TEST(TransferMatrix, RandomFromGraphStochasticAndIrreducible) {
+  util::Rng rng(7);
+  graph::ScaleFreeParams params;
+  const auto g = graph::scale_free(100, params, rng);
+  const auto p = TransferMatrix::random_from_graph(g, rng, 0.1);
+  EXPECT_TRUE(p.is_stochastic(1e-9));
+  EXPECT_TRUE(p.is_irreducible());
+}
+
+TEST(TransferMatrix, FromDenseRoundTrip) {
+  util::Matrix m(2, 2);
+  m.at(0, 0) = 0.25;
+  m.at(0, 1) = 0.75;
+  m.at(1, 0) = 1.0;
+  const auto p = TransferMatrix::from_dense(m);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(p.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace creditflow::queueing
