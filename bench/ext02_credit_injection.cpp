@@ -6,52 +6,56 @@
 // the trade-off: bankruptcies drop and trade volume holds, but the money
 // supply grows without bound (inflation) and the relative inequality is
 // only partially suppressed.
+//
+// Configurations come from the ext02_injection scenario preset: the
+// uninjected control plus a sweep over the minting interval.
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace creditflow;
-  const double horizon = 12000.0;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::builtin().get("ext02_injection");
+  spec.config.horizon *= bench::time_scale();
+  spec.config.snapshot_interval = spec.config.horizon / 24.0;
 
-  auto run_case = [&](bool inject, double interval) {
-    core::MarketConfig cfg = bench::paper_asymmetric(400, 100, horizon);
-    cfg.snapshot_interval = cfg.horizon / 24.0;
-    cfg.protocol.injection.enabled = inject;
-    cfg.protocol.injection.interval_seconds = interval;
-    cfg.protocol.injection.credits_per_peer = 1;
-    core::CreditMarket market(cfg);
-    return market.run();
-  };
+  scenario::ScenarioSpec no_injection = spec;
+  no_injection.config.protocol.injection.enabled = false;
+  const auto none = scenario::run_scenario(no_injection);
 
-  const auto none = run_case(false, 0.0);
-  const auto slow = run_case(true, 200.0);
-  const auto fast = run_case(true, 50.0);
+  scenario::SweepSpec sweep;
+  sweep.axes.push_back(scenario::SweepAxis::parse("inject.interval=200,50"));
+  scenario::SweepRunner runner(spec, sweep);
+  const auto injected = runner.run();
+  const auto& slow = injected[0];
+  const auto& fast = injected[1];
 
   util::ConsoleTable table(
       "ext02 — Gini and money supply under periodic credit injection "
       "(asymmetric, c=100)");
   table.set_header({"time_s", "gini_none", "gini_inject200s",
                     "gini_inject50s", "mean_balance_inject50s"});
-  for (std::size_t i = 0; i < none.gini_balances.size(); i += 2) {
-    table.add_row({none.gini_balances.time_at(i),
-                   none.gini_balances.value_at(i),
-                   slow.gini_balances.value_at(i),
-                   fast.gini_balances.value_at(i),
-                   fast.mean_balance.value_at(i)});
+  for (std::size_t i = 0; i < none.report.gini_balances.size(); i += 2) {
+    table.add_row({none.report.gini_balances.time_at(i),
+                   none.report.gini_balances.value_at(i),
+                   slow.report.gini_balances.value_at(i),
+                   fast.report.gini_balances.value_at(i),
+                   fast.report.mean_balance.value_at(i)});
   }
   bench::emit(table, "ext02_credit_injection");
 
   util::ConsoleTable conv("ext02 — converged outcomes");
   conv.set_header({"policy", "converged_gini", "bankrupt_fraction",
                    "final_mean_balance"});
-  conv.add_row({std::string("no injection"), none.converged_gini(),
-                none.final_wealth.bankrupt_fraction,
-                none.final_wealth.mean});
-  conv.add_row({std::string("1 credit / 200 s"), slow.converged_gini(),
-                slow.final_wealth.bankrupt_fraction,
-                slow.final_wealth.mean});
-  conv.add_row({std::string("1 credit / 50 s"), fast.converged_gini(),
-                fast.final_wealth.bankrupt_fraction,
-                fast.final_wealth.mean});
+  const std::pair<const char*, const scenario::RunResult*> rows[] = {
+      {"no injection", &none},
+      {"1 credit / 200 s", &slow},
+      {"1 credit / 50 s", &fast},
+  };
+  for (const auto& [label, r] : rows) {
+    conv.add_row({std::string(label), r->metric("converged_gini"),
+                  r->metric("bankrupt_fraction"), r->metric("mean_balance")});
+  }
   bench::emit(conv, "ext02_converged");
   return 0;
 }

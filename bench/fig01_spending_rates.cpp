@@ -7,50 +7,29 @@
 //   Case B (balanced):   c = 12, uniform 1-credit pricing, capacity-capped
 //                        income — paper reports Gini ≈ 0.1.
 //
-// The bench prints the sorted spending-rate curve (deciles) and the Gini
-// index of spending rates for both cases: the condensed market's curve
-// collapses for most peers — lower download speeds, worse streaming.
+// Both configurations live in the scenario registry (fig01_condensed /
+// fig01_balanced) with warmup 0.9: the spending rates are measured over the
+// trailing tenth of the run — the "evolved for a long time" state — via the
+// market's rate window, not as lifetime averages.
 #include <algorithm>
 
 #include "bench_common.hpp"
 #include "econ/wealth.hpp"
-#include "p2p/protocol.hpp"
-#include "sim/simulator.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace creditflow;
-  const double horizon = 6000.0 * bench::time_scale();
 
-  // Spending rates are measured over the trailing fifth of the run (the
-  // system's "evolved for a long time" state), not as lifetime averages.
-  auto run_case = [&](bool condensed) {
-    core::MarketConfig cfg =
-        bench::paper_baseline(500, condensed ? 200 : 12, 6000.0);
-    if (condensed) {
-      // "Without careful design" (paper, Sec. III-A): capacity headroom
-      // captured by chunk-rich peers, heterogeneous prices, no liquidity
-      // management, no server help for the starving.
-      cfg.protocol.upload_capacity = 8.0;
-      cfg.protocol.weight_sellers_by_fill = true;
-      cfg.protocol.pricing.kind = econ::PricingKind::kPoisson;
-      cfg.protocol.pricing.poisson_mean = 1.0;
-      cfg.protocol.reserve_credits = 0.0;
-      cfg.protocol.deficit_seeding = false;
-    }
-    // Condensation keeps deepening over time, so the condensed case runs
-    // twice as long before the measurement window opens.
-    const double h = condensed ? 2.0 * horizon : horizon;
-    sim::Simulator simulator;
-    p2p::StreamingProtocol proto(cfg.protocol, simulator);
-    proto.start();
-    simulator.run_until(0.9 * h);
-    proto.begin_rate_window();
-    simulator.run_until(h);
-    return econ::sorted_ascending(proto.windowed_spend_rates());
+  auto run_case = [&](const char* name) {
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioRegistry::builtin().get(name);
+    spec.config.horizon *= bench::time_scale();
+    const auto result = scenario::run_scenario(spec);
+    return econ::sorted_ascending(result.report.final_windowed_spend_rates);
   };
 
-  const auto condensed = run_case(true);
-  const auto balanced = run_case(false);
+  const auto condensed = run_case("fig01_condensed");
+  const auto balanced = run_case("fig01_balanced");
 
   util::ConsoleTable table(
       "Fig. 1 — credit spending rates, sorted ascending (credits/sec)");

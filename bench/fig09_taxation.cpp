@@ -2,7 +2,8 @@
 // Asymmetric utilization, c = 100; income above a wealth threshold is taxed
 // at a fixed rate and the treasury returns one credit to every peer when it
 // holds N. Configurations: no tax, and rate ∈ {0.1, 0.2} × threshold
-// ∈ {50, 80}.
+// ∈ {50, 80} — the grid is a scenario sweep over the fig09_taxation preset,
+// executed in parallel.
 //
 // Paper's observations: (1) taxation prevents the drift to extreme skew;
 // (2) raising the threshold lowers the Gini; (3) at a low threshold the two
@@ -11,49 +12,43 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 #include "util/chart.hpp"
 
 int main() {
   using namespace creditflow;
-  const double horizon = 15000.0;
-  const std::size_t peers = 400;
-  const std::uint64_t c = 100;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::builtin().get("fig09_taxation");
+  spec.config.horizon *= bench::time_scale();
+  spec.config.snapshot_interval = spec.config.horizon / 30.0;
 
-  struct Case {
-    std::string label;
-    bool enabled;
-    double rate;
-    double threshold;
-  };
-  const Case cases[] = {
-      {"no_tax", false, 0.0, 0.0},
-      {"r0.1_th50", true, 0.1, 50.0},
-      {"r0.2_th50", true, 0.2, 50.0},
-      {"r0.1_th80", true, 0.1, 80.0},
-      {"r0.2_th80", true, 0.2, 80.0},
-  };
+  // The untaxed control...
+  scenario::ScenarioSpec no_tax = spec;
+  no_tax.config.protocol.tax.enabled = false;
+  const auto control = scenario::run_scenario(no_tax);
 
-  std::vector<core::MarketReport> reports;
-  for (const auto& cs : cases) {
-    core::MarketConfig cfg = bench::paper_asymmetric(peers, c, horizon);
-    cfg.snapshot_interval = cfg.horizon / 30.0;
-    cfg.protocol.tax.enabled = cs.enabled;
-    cfg.protocol.tax.rate = cs.rate;
-    cfg.protocol.tax.threshold = cs.threshold;
-    core::CreditMarket market(cfg);
-    reports.push_back(market.run());
-  }
+  // ...and the rate × threshold grid, all cores.
+  scenario::SweepSpec sweep;
+  sweep.axes.push_back(scenario::SweepAxis::parse("tax.rate=0.1,0.2"));
+  sweep.axes.push_back(scenario::SweepAxis::parse("tax.threshold=50,80"));
+  scenario::SweepRunner runner(spec, sweep);
+  const auto grid = runner.run();
+  // Point layout: rate slowest → {0.1/50, 0.1/80, 0.2/50, 0.2/80}.
+  const scenario::RunResult* cases[] = {&control, &grid[0], &grid[2],
+                                        &grid[1], &grid[3]};
+  const char* labels[] = {"no_tax", "r0.1_th50", "r0.2_th50", "r0.1_th80",
+                          "r0.2_th80"};
 
   util::ConsoleTable table(
       "Fig. 9 — Gini over time under taxation (asymmetric, c=100)");
-  table.set_header({"time_s", "no_tax", "r0.1_th50", "r0.2_th50",
-                    "r0.1_th80", "r0.2_th80"});
-  const auto& t0 = reports[0].gini_balances;
+  table.set_header({"time_s", labels[0], labels[1], labels[2], labels[3],
+                    labels[4]});
+  const auto& t0 = control.report.gini_balances;
   for (std::size_t i = 0; i < t0.size(); i += 2) {
     std::vector<util::Cell> row;
     row.emplace_back(t0.time_at(i));
-    for (const auto& r : reports)
-      row.emplace_back(r.gini_balances.value_at(i));
+    for (const auto* r : cases)
+      row.emplace_back(r->report.gini_balances.value_at(i));
     table.add_row(std::move(row));
   }
   bench::emit(table, "fig09_taxation");
@@ -61,36 +56,40 @@ int main() {
   util::ChartOptions chart_opts;
   chart_opts.title = "Fig. 9 — Gini(t) under taxation";
   std::cout << util::render_chart(
-                   {{"no_tax", &reports[0].gini_balances},
-                    {"r0.2_th50", &reports[2].gini_balances},
-                    {"r0.2_th80", &reports[4].gini_balances}},
+                   {{"no_tax", &control.report.gini_balances},
+                    {"r0.2_th50", &cases[2]->report.gini_balances},
+                    {"r0.2_th80", &cases[4]->report.gini_balances}},
                    chart_opts)
             << "\n";
 
   util::ConsoleTable conv("Fig. 9 — converged Gini and treasury flow");
   conv.set_header({"case", "converged_gini", "tax_collected",
                    "tax_redistributed"});
-  for (std::size_t k = 0; k < reports.size(); ++k) {
-    conv.add_row({cases[k].label, reports[k].converged_gini(),
-                  static_cast<std::int64_t>(reports[k].tax_collected),
-                  static_cast<std::int64_t>(reports[k].tax_redistributed)});
+  for (std::size_t k = 0; k < 5; ++k) {
+    conv.add_row({std::string(labels[k]),
+                  cases[k]->metric("converged_gini"),
+                  static_cast<std::int64_t>(cases[k]->metric("tax_collected")),
+                  static_cast<std::int64_t>(
+                      cases[k]->metric("tax_redistributed"))});
   }
   bench::emit(conv, "fig09_converged");
 
-  // Ablation beyond the paper: fine threshold sweep at rate 0.15.
-  util::ConsoleTable sweep(
-      "Fig. 9 ablation — tax threshold sweep at rate 0.15");
-  sweep.set_header({"threshold", "converged_gini"});
-  for (const double th : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
-    core::MarketConfig cfg =
-        bench::paper_asymmetric(peers, c, horizon / 2.0);
-    cfg.snapshot_interval = cfg.horizon / 20.0;
-    cfg.protocol.tax.enabled = true;
-    cfg.protocol.tax.rate = 0.15;
-    cfg.protocol.tax.threshold = th;
-    core::CreditMarket market(cfg);
-    sweep.add_row({th, market.run().converged_gini()});
-  }
-  bench::emit(sweep, "fig09_threshold_sweep");
+  // Ablation beyond the paper: fine threshold sweep at rate 0.15, with the
+  // sink's mean column (single replication → the mean is the run).
+  scenario::ScenarioSpec ablation = spec;
+  ablation.config.horizon /= 2.0;
+  ablation.config.snapshot_interval = ablation.config.horizon / 20.0;
+  ablation.config.protocol.tax.rate = 0.15;
+  scenario::SweepSpec th_sweep;
+  th_sweep.axes.push_back(
+      scenario::SweepAxis::parse("tax.threshold=20:120:20"));
+  scenario::SweepRunner ablation_runner(ablation, th_sweep);
+  scenario::ResultSink sink;
+  sink.add_all(ablation_runner.run());
+  const std::vector<std::string> metrics = {"converged_gini"};
+  bench::emit(sink.aggregate_table(
+                  "Fig. 9 ablation — tax threshold sweep at rate 0.15",
+                  metrics),
+              "fig09_threshold_sweep");
   return 0;
 }

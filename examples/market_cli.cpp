@@ -1,22 +1,35 @@
-// market_cli — run a custom credit market from the command line.
+// market_cli — run a custom credit market, a named scenario, or a full
+// parameter sweep from the command line.
 //
-//   market_cli [--peers N] [--credits C] [--horizon S] [--seed K]
-//              [--pricing uniform|poisson|perseller|linear]
-//              [--spend-cv X] [--upload-cv X]
-//              [--tax RATE THRESHOLD] [--dynamic M]
-//              [--churn ARRIVAL LIFESPAN] [--inject INTERVAL AMOUNT]
-//              [--condensed] [--trace] [--chart]
+// Single run:
+//   market_cli [--scenario NAME|FILE] [--set key=value]... [legacy flags]
 //
-// Prints the market report, optionally the Gini evolution chart, and (with
-// --trace) the sustainability analyzer's verdict on the empirical Table I
-// mapping. Exit code 0 on a conserved ledger, 2 otherwise.
+// Sweep (any --sweep axis or --seeds > 1 switches modes):
+//   market_cli --scenario fig09_taxation
+//              --sweep tax.threshold=10:120:5 --sweep tax.rate=0.1,0.2
+//              --seeds 4 --jobs 0 --out fig09_sweep.csv
+//
+// Sweeps expand the cartesian grid of all axes, replicate each point with
+// independent derived RNG streams, and run everything on a thread pool
+// (--jobs 0 = all cores). Aggregated mean ± CI rows render to the console
+// and, with --out, land as CSV (or JSON with --json); --runs-out writes the
+// raw per-run rows. Outputs are byte-identical for any --jobs value.
+//
+// Prints the market report (single-run mode), optionally the Gini chart,
+// and (with --trace) the sustainability analyzer's verdict on the
+// empirical Table I mapping. Exit code 0 on success/conserved ledger, 2 on
+// a conservation violation or failed sweep runs.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/analyzer.hpp"
 #include "core/market.hpp"
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
 #include "util/chart.hpp"
 
 namespace {
@@ -24,13 +37,26 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --peers N            population (default 300)\n"
-      << "  --credits C          initial credits per peer (default 100)\n"
-      << "  --horizon S          simulated seconds (default 5000)\n"
-      << "  --seed K             RNG seed (default 2012)\n"
-      << "  --pricing NAME       uniform|poisson|perseller|linear\n"
-      << "  --spend-cv X         lognormal CV of spending rates (asymmetry)\n"
-      << "  --upload-cv X        lognormal CV of upload capacities\n"
+      << "scenario selection:\n"
+      << "  --scenario NAME|FILE named preset (see --list-scenarios) or a\n"
+      << "                       spec file saved with --print-spec\n"
+      << "  --list-scenarios     list the built-in presets and exit\n"
+      << "  --print-spec         print the effective spec and exit\n"
+      << "  --set key=value      override any scenario parameter\n"
+      << "sweep mode:\n"
+      << "  --sweep key=SPEC     add a grid axis; SPEC is lo:hi:step,\n"
+      << "                       a,b,c or a single value (repeatable)\n"
+      << "  --seeds N            replications per grid point (default 1)\n"
+      << "  --jobs N             worker threads, 0 = all cores (default 0)\n"
+      << "  --out FILE           write aggregated rows (CSV, or JSON\n"
+      << "                       with --json)\n"
+      << "  --runs-out FILE      write raw per-run rows as CSV\n"
+      << "  --json               aggregate output as JSON instead of CSV\n"
+      << "  --quiet              suppress per-run progress lines\n"
+      << "single-run convenience flags (aliases of --set):\n"
+      << "  --peers N --credits C --horizon S --seed K\n"
+      << "  --pricing uniform|poisson|perseller|linear\n"
+      << "  --spend-cv X --upload-cv X\n"
       << "  --tax RATE THRESH    enable income taxation\n"
       << "  --dynamic M          dynamic spending with threshold m\n"
       << "  --churn RATE LIFE    open market: arrivals/s, mean lifespan s\n"
@@ -48,84 +74,236 @@ double parse_double(const char* s, const char* argv0) {
   return v;
 }
 
+void apply_or_die(creditflow::scenario::ScenarioSpec& spec,
+                  const std::string& key, double value, const char* argv0) {
+  if (!spec.set(key, value)) {
+    std::cerr << "unknown parameter: " << key << "\n";
+    usage(argv0);
+  }
+}
+
+creditflow::scenario::ScenarioSpec load_scenario(const std::string& name) {
+  using creditflow::scenario::ScenarioRegistry;
+  using creditflow::scenario::ScenarioSpec;
+  if (const ScenarioSpec* spec = ScenarioRegistry::builtin().find(name)) {
+    return *spec;
+  }
+  std::ifstream in(name);
+  if (in) {
+    std::ostringstream text;
+    text << in.rdbuf();
+    return ScenarioSpec::parse(text.str());
+  }
+  std::cerr << "unknown scenario (and no such spec file): " << name << "\n"
+            << "available presets:\n";
+  for (const auto& known : ScenarioRegistry::builtin().names()) {
+    std::cerr << "  " << known << "\n";
+  }
+  std::exit(64);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
+              creditflow::scenario::SweepSpec sweep, std::size_t jobs,
+              const std::string& out_path, const std::string& runs_out_path,
+              bool json, bool quiet) {
+  using namespace creditflow;
+  std::cerr << "sweep: " << sweep.num_points() << " grid points x "
+            << sweep.seeds << " seeds = " << sweep.num_runs()
+            << " runs (base scenario " << spec.name << ")\n";
+
+  scenario::SweepRunner::Options options;
+  options.jobs = jobs;
+  options.keep_reports = false;
+  if (!quiet) {
+    const std::size_t total = sweep.num_runs();
+    std::size_t done = 0;
+    options.on_result = [&done, total](const scenario::RunResult& r) {
+      ++done;
+      std::cerr << "[" << done << "/" << total << "] run " << r.run_index;
+      if (!r.error.empty()) {
+        std::cerr << " FAILED: " << r.error;
+      } else {
+        std::cerr << " gini=" << r.metric("converged_gini");
+      }
+      std::cerr << "\n";
+    };
+  }
+
+  scenario::SweepRunner runner(spec, std::move(sweep), std::move(options));
+  scenario::ResultSink sink;
+  sink.add_all(runner.run());
+
+  std::size_t failures = 0;
+  for (const auto& run : sink.runs()) {
+    if (!run.error.empty()) ++failures;
+  }
+
+  const std::vector<std::string> metrics = {
+      "converged_gini", "mean_buffer_fill", "exchange_efficiency",
+      "mean_balance",   "bankrupt_fraction"};
+  sink.aggregate_table("sweep results — " + spec.name, metrics).print();
+
+  if (!out_path.empty()) {
+    const std::string payload =
+        json ? sink.aggregate_json() : sink.aggregate_csv();
+    if (!write_file(out_path, payload)) return 2;
+    std::cout << "[out] " << out_path << "\n";
+  }
+  if (!runs_out_path.empty()) {
+    if (!write_file(runs_out_path, sink.runs_csv())) return 2;
+    std::cout << "[runs] " << runs_out_path << "\n";
+  }
+  if (failures > 0) {
+    std::cerr << failures << " run(s) failed\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace creditflow;
-  core::MarketConfig cfg;
-  cfg.protocol.initial_peers = 300;
-  cfg.protocol.max_peers = 300;
-  cfg.protocol.initial_credits = 100;
-  cfg.protocol.seed = 2012;
-  cfg.horizon = 5000.0;
-  cfg.snapshot_interval = 125.0;
-  bool want_chart = false;
 
+  // The legacy default market; --scenario replaces the whole spec.
+  scenario::ScenarioSpec spec;
+  spec.name = "custom";
+  spec.config.protocol.initial_peers = 300;
+  spec.config.protocol.max_peers = 300;
+  spec.config.protocol.initial_credits = 100;
+  spec.config.protocol.seed = 2012;
+  spec.config.horizon = 5000.0;
+  spec.config.snapshot_interval = 125.0;
+
+  scenario::SweepSpec sweep;
+  std::size_t jobs = 0;
+  std::string out_path;
+  std::string runs_out_path;
+  bool json = false;
+  bool quiet = false;
+  bool want_chart = false;
+  bool print_spec = false;
+
+  bool spec_overridden = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](int more = 1) {
       if (i + more >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--peers") {
-      cfg.protocol.initial_peers =
+    auto set_param = [&](const std::string& key, double value) {
+      spec_overridden = true;
+      apply_or_die(spec, key, value, argv[0]);
+    };
+    if (arg == "--scenario") {
+      if (spec_overridden) {
+        // Loading a scenario replaces the whole spec; silently dropping
+        // the overrides that came before it would run the wrong market.
+        std::cerr << "--scenario must come before --set and other "
+                     "parameter flags\n";
+        return 64;
+      }
+      try {
+        spec = load_scenario(next());
+      } catch (const util::PreconditionError& e) {
+        std::cerr << e.what() << "\n";  // malformed spec file
+        return 64;
+      }
+    } else if (arg == "--list-scenarios") {
+      for (const auto& name : scenario::ScenarioRegistry::builtin().names()) {
+        const auto* s = scenario::ScenarioRegistry::builtin().find(name);
+        std::cout << name << "\n    " << s->description << "\n";
+      }
+      return 0;
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--set") {
+      const std::string kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) usage(argv[0]);
+      set_param(kv.substr(0, eq), parse_double(kv.c_str() + eq + 1, argv[0]));
+    } else if (arg == "--sweep") {
+      try {
+        sweep.axes.push_back(scenario::SweepAxis::parse(next()));
+      } catch (const util::PreconditionError& e) {
+        std::cerr << e.what() << "\n";
+        return 64;
+      }
+    } else if (arg == "--seeds") {
+      sweep.seeds =
           static_cast<std::size_t>(parse_double(next(), argv[0]));
-      cfg.protocol.max_peers = cfg.protocol.initial_peers;
+      if (sweep.seeds == 0) usage(argv[0]);
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(parse_double(next(), argv[0]));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--runs-out") {
+      runs_out_path = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--peers") {
+      const double v = parse_double(next(), argv[0]);
+      set_param("peers", v);
+      set_param("max_peers", v);
     } else if (arg == "--credits") {
-      cfg.protocol.initial_credits =
-          static_cast<p2p::Credits>(parse_double(next(), argv[0]));
+      set_param("credits", parse_double(next(), argv[0]));
     } else if (arg == "--horizon") {
-      cfg.horizon = parse_double(next(), argv[0]);
-      cfg.snapshot_interval = cfg.horizon / 40.0;
+      const double h = parse_double(next(), argv[0]);
+      set_param("horizon", h);
+      set_param("snapshot_interval", h / 40.0);
     } else if (arg == "--seed") {
-      cfg.protocol.seed =
-          static_cast<std::uint64_t>(parse_double(next(), argv[0]));
+      set_param("seed", parse_double(next(), argv[0]));
     } else if (arg == "--pricing") {
       const std::string name = next();
-      if (name == "uniform") {
-        cfg.protocol.pricing.kind = econ::PricingKind::kUniform;
-      } else if (name == "poisson") {
-        cfg.protocol.pricing.kind = econ::PricingKind::kPoisson;
-      } else if (name == "perseller") {
-        cfg.protocol.pricing.kind = econ::PricingKind::kPerSeller;
-      } else if (name == "linear") {
-        cfg.protocol.pricing.kind = econ::PricingKind::kLinearSize;
-      } else {
-        usage(argv[0]);
-      }
+      double kind = -1;
+      if (name == "uniform") kind = 0;
+      else if (name == "poisson") kind = 1;
+      else if (name == "perseller") kind = 2;
+      else if (name == "linear") kind = 3;
+      else usage(argv[0]);
+      set_param("pricing.kind", kind);
     } else if (arg == "--spend-cv") {
-      cfg.protocol.heterogeneity.spend_rate_cv =
-          parse_double(next(), argv[0]);
+      set_param("spend_cv", parse_double(next(), argv[0]));
     } else if (arg == "--upload-cv") {
-      cfg.protocol.heterogeneity.upload_capacity_cv =
-          parse_double(next(), argv[0]);
+      set_param("upload_cv", parse_double(next(), argv[0]));
     } else if (arg == "--tax") {
-      cfg.protocol.tax.enabled = true;
-      cfg.protocol.tax.rate = parse_double(next(2), argv[0]);
-      cfg.protocol.tax.threshold = parse_double(next(), argv[0]);
+      set_param("tax.enabled", 1);
+      set_param("tax.rate", parse_double(next(2), argv[0]));
+      set_param("tax.threshold", parse_double(next(), argv[0]));
     } else if (arg == "--dynamic") {
-      cfg.protocol.spending.dynamic = true;
-      cfg.protocol.spending.dynamic_threshold =
-          parse_double(next(), argv[0]);
+      set_param("spending.dynamic", 1);
+      set_param("spending.threshold", parse_double(next(), argv[0]));
     } else if (arg == "--churn") {
-      cfg.protocol.churn.enabled = true;
-      cfg.protocol.churn.arrival_rate = parse_double(next(2), argv[0]);
-      cfg.protocol.churn.mean_lifespan = parse_double(next(), argv[0]);
-      cfg.protocol.max_peers = cfg.protocol.initial_peers * 2 + 256;
+      set_param("churn.enabled", 1);
+      set_param("churn.arrival_rate", parse_double(next(2), argv[0]));
+      set_param("churn.mean_lifespan", parse_double(next(), argv[0]));
+      set_param("max_peers",
+                static_cast<double>(
+                    spec.config.protocol.initial_peers * 2 + 256));
     } else if (arg == "--inject") {
-      cfg.protocol.injection.enabled = true;
-      cfg.protocol.injection.interval_seconds =
-          parse_double(next(2), argv[0]);
-      cfg.protocol.injection.credits_per_peer =
-          static_cast<p2p::Credits>(parse_double(next(), argv[0]));
+      set_param("inject.enabled", 1);
+      set_param("inject.interval", parse_double(next(2), argv[0]));
+      set_param("inject.amount", parse_double(next(), argv[0]));
     } else if (arg == "--condensed") {
-      cfg.protocol.upload_capacity = 8.0;
-      cfg.protocol.weight_sellers_by_fill = true;
-      cfg.protocol.reserve_credits = 0.0;
-      cfg.protocol.deficit_seeding = false;
-      cfg.protocol.pricing.kind = econ::PricingKind::kPoisson;
+      set_param("upload_capacity", 8.0);
+      set_param("seller_choice", 1);
+      set_param("reserve_credits", 0.0);
+      set_param("deficit_seeding", 0);
+      set_param("pricing.kind", 1);
     } else if (arg == "--trace") {
-      cfg.enable_trace = true;
+      set_param("trace", 1);
     } else if (arg == "--chart") {
       want_chart = true;
     } else {
@@ -133,8 +311,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::CreditMarket market(cfg);
+  if (print_spec) {
+    std::cout << spec.serialize();
+    return 0;
+  }
+
+  if (!sweep.axes.empty() || sweep.seeds > 1) {
+    return run_sweep(spec, std::move(sweep), jobs, out_path, runs_out_path,
+                     json, quiet);
+  }
+
+  // ---- Single-run mode (the original market_cli behavior). --------------
+  core::CreditMarket market(spec.materialize());
   const auto report = market.run();
+  const auto& cfg = market.config();
 
   std::cout << "== market report ==\n"
             << report.summary() << "\n"

@@ -11,6 +11,8 @@ CreditMarket::CreditMarket(MarketConfig config) : cfg_(std::move(config)) {
   CF_EXPECTS(cfg_.horizon > 0.0);
   CF_EXPECTS(cfg_.snapshot_interval > 0.0);
   CF_EXPECTS(cfg_.snapshot_interval <= cfg_.horizon);
+  CF_EXPECTS_MSG(cfg_.rate_window_start < cfg_.horizon,
+                 "rate window would open at or after the horizon");
   protocol_ =
       std::make_unique<p2p::StreamingProtocol>(cfg_.protocol, sim_);
   if (cfg_.enable_trace) protocol_->trace().set_enabled(true);
@@ -48,6 +50,10 @@ MarketReport CreditMarket::run() {
   sim_.schedule_periodic(
       sim_.now() + cfg_.snapshot_interval, cfg_.snapshot_interval,
       [this, &report](double t) { take_snapshot(t, report); });
+  if (cfg_.rate_window_start >= 0.0) {
+    sim_.schedule_at(cfg_.rate_window_start,
+                     [this](double) { protocol_->begin_rate_window(); });
+  }
   sim_.run_until(cfg_.horizon);
 
   // Final state.
@@ -56,6 +62,9 @@ MarketReport CreditMarket::run() {
   report.final_balances = protocol_->balance_snapshot();
   report.final_spend_rates = protocol_->spend_rate_snapshot();
   report.final_download_rates = protocol_->download_rate_snapshot();
+  if (cfg_.rate_window_start >= 0.0 && sim_.now() > cfg_.rate_window_start) {
+    report.final_windowed_spend_rates = protocol_->windowed_spend_rates();
+  }
   if (!report.final_balances.empty()) {
     report.final_wealth = econ::summarize_wealth(report.final_balances);
   }

@@ -21,6 +21,12 @@ struct MarketConfig {
   double snapshot_interval = 200.0;  ///< metrics cadence
   bool enable_trace = false;         ///< pairwise flow aggregation for mapping
   bool audit_every_snapshot = true;  ///< assert ledger conservation
+
+  /// When >= 0 (and < horizon), open the protocol's trailing rate window at
+  /// this simulation time; the report then carries windowed spend rates
+  /// measured over [rate_window_start, horizon] — the paper's "evolved for
+  /// a long time" readout (Fig. 1). Negative disables.
+  double rate_window_start = -1.0;
 };
 
 /// One market = one simulator + one protocol instance + metrics collection.

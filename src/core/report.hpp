@@ -26,6 +26,9 @@ struct MarketReport {
   std::vector<double> final_spend_rates;
   std::vector<double> final_download_rates;
   econ::WealthSummary final_wealth;
+  /// Spend rates over [rate_window_start, horizon]; empty unless the run
+  /// was configured with a rate window (MarketConfig::rate_window_start).
+  std::vector<double> final_windowed_spend_rates;
 
   // Market-wide accounting.
   std::uint64_t transactions = 0;

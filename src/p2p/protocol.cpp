@@ -49,6 +49,23 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   }
 }
 
+StreamingProtocol::~StreamingProtocol() {
+  *alive_token_ = false;
+  // PeriodicHandle::cancel only flips a shared flag, so this is safe even
+  // when the simulator was destroyed before the protocol.
+  for (auto& handle : periodic_handles_) handle.cancel();
+}
+
+sim::EventQueue::Callback StreamingProtocol::guard(
+    std::function<void(double)> cb) const {
+  return [token = std::weak_ptr<bool>(alive_token_),
+          cb = std::move(cb)](double t) {
+    const auto alive = token.lock();
+    if (!alive || !*alive) return;
+    cb(t);
+  };
+}
+
 const PeerState& StreamingProtocol::peer(PeerId id) const {
   CF_EXPECTS(id < peers_.size());
   return peers_[id];
@@ -121,19 +138,20 @@ void StreamingProtocol::start() {
       const double lifespan =
           rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
       peers_[id].depart_time = sim_.now() + lifespan;
-      sim_.schedule_after(lifespan, [this, id](double t) {
-        if (peers_[id].alive) handle_departure(id, t);
-      });
+      sim_.schedule_after(lifespan, guard([this, id](double t) {
+                            if (peers_[id].alive) handle_departure(id, t);
+                          }));
     }
   }
 
-  sim_.schedule_periodic(sim_.now() + cfg_.round_seconds, cfg_.round_seconds,
-                         [this](double t) { run_round(t); });
+  periodic_handles_.push_back(sim_.schedule_periodic(
+      sim_.now() + cfg_.round_seconds, cfg_.round_seconds,
+      guard([this](double t) { run_round(t); })));
   if (cfg_.churn.enabled) schedule_next_arrival();
   if (cfg_.injection.enabled) {
-    sim_.schedule_periodic(
+    periodic_handles_.push_back(sim_.schedule_periodic(
         sim_.now() + cfg_.injection.interval_seconds,
-        cfg_.injection.interval_seconds, [this](double) {
+        cfg_.injection.interval_seconds, guard([this](double) {
           for (PeerId id : overlay_.active_peers()) {
             ledger_.mint(id, cfg_.injection.credits_per_peer);
           }
@@ -141,16 +159,16 @@ void StreamingProtocol::start() {
           metrics_.increment("injection.minted",
                              cfg_.injection.credits_per_peer *
                                  overlay_.num_active());
-        });
+        })));
   }
 }
 
 void StreamingProtocol::schedule_next_arrival() {
   const double dt = rng_.exponential(cfg_.churn.arrival_rate);
-  sim_.schedule_after(dt, [this](double t) {
-    handle_arrival(t);
-    schedule_next_arrival();
-  });
+  sim_.schedule_after(dt, guard([this](double t) {
+                        handle_arrival(t);
+                        schedule_next_arrival();
+                      }));
 }
 
 std::optional<PeerId> StreamingProtocol::find_free_slot() const {
@@ -179,9 +197,9 @@ void StreamingProtocol::handle_arrival(double now) {
 
   const double lifespan = rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
   peers_[id].depart_time = now + lifespan;
-  sim_.schedule_after(lifespan, [this, id](double t) {
-    if (peers_[id].alive) handle_departure(id, t);
-  });
+  sim_.schedule_after(lifespan, guard([this, id](double t) {
+                        if (peers_[id].alive) handle_departure(id, t);
+                      }));
 }
 
 void StreamingProtocol::handle_departure(PeerId id, double now) {

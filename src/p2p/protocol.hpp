@@ -138,6 +138,13 @@ class StreamingProtocol {
  public:
   StreamingProtocol(ProtocolConfig config, sim::Simulator& simulator);
 
+  /// Cancels every callback the protocol scheduled: the simulator may
+  /// outlive the protocol and keep running without touching freed state.
+  ~StreamingProtocol();
+
+  StreamingProtocol(const StreamingProtocol&) = delete;
+  StreamingProtocol& operator=(const StreamingProtocol&) = delete;
+
   /// Build the overlay, endow peers, and schedule rounds (and churn).
   void start();
 
@@ -175,6 +182,12 @@ class StreamingProtocol {
   [[nodiscard]] std::uint64_t rounds_run() const { return rounds_; }
 
  private:
+  /// Wrap a callback so it no-ops once this protocol is destroyed. Every
+  /// lambda handed to the simulator goes through this: the simulator owns
+  /// its queue entries by value, so a raw `this` capture would dangle.
+  [[nodiscard]] sim::EventQueue::Callback guard(
+      std::function<void(double)> cb) const;
+
   void run_round(double now);
   void seed_new_chunks(double now, ChunkId head);
   void peer_purchase_phase(PeerId buyer_id, double now);
@@ -205,6 +218,12 @@ class StreamingProtocol {
   // Trailing spend-rate window (begin_rate_window / windowed_spend_rates).
   std::vector<std::uint64_t> spent_marker_;
   double marker_time_ = -1.0;
+
+  // Teardown safety: callbacks hold a weak_ptr to this token and no-op once
+  // it expires; periodic tasks are additionally cancelled so they stop
+  // rescheduling themselves into a simulator that outlives the protocol.
+  std::shared_ptr<bool> alive_token_ = std::make_shared<bool>(true);
+  std::vector<sim::Simulator::PeriodicHandle> periodic_handles_;
 
   std::uint64_t rounds_ = 0;
   bool started_ = false;

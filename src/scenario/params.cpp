@@ -1,0 +1,288 @@
+#include "scenario/params.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace creditflow::scenario {
+
+namespace {
+
+// Shorthand for table entries: most parameters are a plain field read/write
+// with a numeric cast.
+template <typename T>
+double as_double(T v) {
+  return static_cast<double>(v);
+}
+
+constexpr double kTrue = 1.0;
+
+double bool_value(bool b) { return b ? kTrue : 0.0; }
+
+const std::vector<ParamDesc>& table() {
+  using core::MarketConfig;
+  static const std::vector<ParamDesc> kTable = {
+      // Population. `peers` keeps max_peers consistent (raised, never
+      // lowered) so that a bare "peers=800" is valid on its own; an explicit
+      // `max_peers` later in the table order wins.
+      {"peers", "initial population",
+       [](const MarketConfig& c) { return as_double(c.protocol.initial_peers); },
+       [](MarketConfig& c, double v) {
+         c.protocol.initial_peers = static_cast<std::size_t>(v);
+         c.protocol.max_peers =
+             std::max(c.protocol.max_peers, c.protocol.initial_peers);
+       }},
+      {"max_peers", "slot capacity (churn headroom)",
+       [](const MarketConfig& c) { return as_double(c.protocol.max_peers); },
+       [](MarketConfig& c, double v) {
+         c.protocol.max_peers = static_cast<std::size_t>(v);
+       }},
+      {"credits", "initial endowment c per peer",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.initial_credits);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.initial_credits = static_cast<p2p::Credits>(v);
+       }},
+      {"seed", "base RNG seed",
+       [](const MarketConfig& c) { return as_double(c.protocol.seed); },
+       [](MarketConfig& c, double v) {
+         c.protocol.seed = static_cast<std::uint64_t>(v);
+       }},
+
+      // Run shape.
+      {"horizon", "simulated seconds",
+       [](const MarketConfig& c) { return c.horizon; },
+       [](MarketConfig& c, double v) { c.horizon = v; }},
+      {"snapshot_interval", "metrics cadence in seconds",
+       [](const MarketConfig& c) { return c.snapshot_interval; },
+       [](MarketConfig& c, double v) { c.snapshot_interval = v; }},
+      {"trace", "record the pairwise transaction trace (0/1)",
+       [](const MarketConfig& c) { return bool_value(c.enable_trace); },
+       [](MarketConfig& c, double v) { c.enable_trace = v != 0.0; }},
+      {"audit", "assert ledger conservation every snapshot (0/1)",
+       [](const MarketConfig& c) { return bool_value(c.audit_every_snapshot); },
+       [](MarketConfig& c, double v) { c.audit_every_snapshot = v != 0.0; }},
+
+      // Streaming protocol.
+      {"round_seconds", "scheduling round length",
+       [](const MarketConfig& c) { return c.protocol.round_seconds; },
+       [](MarketConfig& c, double v) { c.protocol.round_seconds = v; }},
+      {"stream_rate", "chunks emitted per second",
+       [](const MarketConfig& c) { return c.protocol.stream_rate; },
+       [](MarketConfig& c, double v) { c.protocol.stream_rate = v; }},
+      {"window_chunks", "playback window size",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.window_chunks);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.window_chunks = static_cast<std::size_t>(v);
+       }},
+      {"seed_fanout", "free copies of each fresh chunk",
+       [](const MarketConfig& c) { return as_double(c.protocol.seed_fanout); },
+       [](MarketConfig& c, double v) {
+         c.protocol.seed_fanout = static_cast<std::size_t>(v);
+       }},
+      {"upload_capacity", "mean chunks/sec a peer can serve",
+       [](const MarketConfig& c) { return c.protocol.upload_capacity; },
+       [](MarketConfig& c, double v) { c.protocol.upload_capacity = v; }},
+      {"base_spend_rate", "mean spending rate mu^s in credits/sec",
+       [](const MarketConfig& c) { return c.protocol.base_spend_rate; },
+       [](MarketConfig& c, double v) { c.protocol.base_spend_rate = v; }},
+      {"max_purchase_attempts", "per peer per round",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.max_purchase_attempts);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.max_purchase_attempts = static_cast<std::size_t>(v);
+       }},
+      {"warm_start_fill", "initial window fill fraction",
+       [](const MarketConfig& c) { return c.protocol.warm_start_fill; },
+       [](MarketConfig& c, double v) { c.protocol.warm_start_fill = v; }},
+      {"reserve_credits", "liquidity-management reserve",
+       [](const MarketConfig& c) { return c.protocol.reserve_credits; },
+       [](MarketConfig& c, double v) { c.protocol.reserve_credits = v; }},
+      {"deficit_seeding", "source pushes to emptiest buffers (0/1)",
+       [](const MarketConfig& c) {
+         return bool_value(c.protocol.deficit_seeding);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.deficit_seeding = v != 0.0;
+       }},
+      {"seller_choice",
+       "0=availability-uniform, 1=fill-weighted, 2=cheapest-ask",
+       [](const MarketConfig& c) {
+         return as_double(static_cast<int>(c.protocol.seller_choice));
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.seller_choice =
+             static_cast<p2p::ProtocolConfig::SellerChoice>(
+                 static_cast<int>(v));
+       }},
+
+      // Heterogeneity (the symmetric/asymmetric utilization lever).
+      {"spend_cv", "lognormal CV of base spending rates",
+       [](const MarketConfig& c) {
+         return c.protocol.heterogeneity.spend_rate_cv;
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.heterogeneity.spend_rate_cv = v;
+       }},
+      {"upload_cv", "lognormal CV of upload capacities",
+       [](const MarketConfig& c) {
+         return c.protocol.heterogeneity.upload_capacity_cv;
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.heterogeneity.upload_capacity_cv = v;
+       }},
+
+      // Pricing.
+      {"pricing.kind", "0=uniform, 1=poisson, 2=per-seller, 3=linear",
+       [](const MarketConfig& c) {
+         return as_double(static_cast<int>(c.protocol.pricing.kind));
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.pricing.kind =
+             static_cast<econ::PricingKind>(static_cast<int>(v));
+       }},
+      {"pricing.uniform_price", "flat credits per chunk",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.pricing.uniform_price);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.pricing.uniform_price = static_cast<econ::Credits>(v);
+       }},
+      {"pricing.poisson_mean", "mean of poisson prices",
+       [](const MarketConfig& c) { return c.protocol.pricing.poisson_mean; },
+       [](MarketConfig& c, double v) {
+         c.protocol.pricing.poisson_mean = v;
+       }},
+      {"pricing.poisson_min", "price floor for poisson draws",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.pricing.poisson_min);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.pricing.poisson_min = static_cast<econ::Credits>(v);
+       }},
+      {"pricing.per_seller_lo", "per-seller price range low",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.pricing.per_seller_lo);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.pricing.per_seller_lo = static_cast<econ::Credits>(v);
+       }},
+      {"pricing.per_seller_hi", "per-seller price range high",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.pricing.per_seller_hi);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.pricing.per_seller_hi = static_cast<econ::Credits>(v);
+       }},
+
+      // Spending policy (Sec. VI-D).
+      {"spending.dynamic", "dynamic spending adjustment (0/1)",
+       [](const MarketConfig& c) {
+         return bool_value(c.protocol.spending.dynamic);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.spending.dynamic = v != 0.0;
+       }},
+      {"spending.threshold", "dynamic-spending wealth threshold m",
+       [](const MarketConfig& c) {
+         return c.protocol.spending.dynamic_threshold;
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.spending.dynamic_threshold = v;
+       }},
+
+      // Taxation (Sec. VI-C).
+      {"tax.enabled", "income taxation (0/1)",
+       [](const MarketConfig& c) { return bool_value(c.protocol.tax.enabled); },
+       [](MarketConfig& c, double v) { c.protocol.tax.enabled = v != 0.0; }},
+      {"tax.rate", "proportion of income collected",
+       [](const MarketConfig& c) { return c.protocol.tax.rate; },
+       [](MarketConfig& c, double v) { c.protocol.tax.rate = v; }},
+      {"tax.threshold", "wealth level above which income is taxed",
+       [](const MarketConfig& c) { return c.protocol.tax.threshold; },
+       [](MarketConfig& c, double v) { c.protocol.tax.threshold = v; }},
+
+      // Churn (Sec. VI-E, the open market).
+      {"churn.enabled", "peer churn (0/1)",
+       [](const MarketConfig& c) {
+         return bool_value(c.protocol.churn.enabled);
+       },
+       [](MarketConfig& c, double v) { c.protocol.churn.enabled = v != 0.0; }},
+      {"churn.arrival_rate", "Poisson arrivals per second",
+       [](const MarketConfig& c) { return c.protocol.churn.arrival_rate; },
+       [](MarketConfig& c, double v) { c.protocol.churn.arrival_rate = v; }},
+      {"churn.mean_lifespan", "mean exponential lifespan in seconds",
+       [](const MarketConfig& c) { return c.protocol.churn.mean_lifespan; },
+       [](MarketConfig& c, double v) { c.protocol.churn.mean_lifespan = v; }},
+      {"churn.join_links", "preferential-attachment links per join",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.churn.join_links);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.churn.join_links = static_cast<std::size_t>(v);
+       }},
+
+      // Credit injection (the inflation counter-action).
+      {"inject.enabled", "periodic credit minting (0/1)",
+       [](const MarketConfig& c) {
+         return bool_value(c.protocol.injection.enabled);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.injection.enabled = v != 0.0;
+       }},
+      {"inject.interval", "seconds between minting rounds",
+       [](const MarketConfig& c) {
+         return c.protocol.injection.interval_seconds;
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.injection.interval_seconds = v;
+       }},
+      {"inject.amount", "credits minted per peer per round",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.injection.credits_per_peer);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.injection.credits_per_peer =
+             static_cast<p2p::Credits>(v);
+       }},
+  };
+  return kTable;
+}
+
+/// Aliases accepted on input (the paper's own symbols) but never emitted.
+std::string_view resolve_alias(std::string_view key) {
+  if (key == "c") return "credits";
+  if (key == "n") return "peers";
+  return key;
+}
+
+}  // namespace
+
+const std::vector<ParamDesc>& param_table() { return table(); }
+
+const ParamDesc* find_param(std::string_view key) {
+  const auto resolved = resolve_alias(key);
+  for (const auto& desc : table()) {
+    if (desc.key == resolved) return &desc;
+  }
+  return nullptr;
+}
+
+bool apply_param(core::MarketConfig& cfg, std::string_view key, double value) {
+  const ParamDesc* desc = find_param(key);
+  if (desc == nullptr) return false;
+  desc->set(cfg, value);
+  return true;
+}
+
+std::optional<double> read_param(const core::MarketConfig& cfg,
+                                 std::string_view key) {
+  const ParamDesc* desc = find_param(key);
+  if (desc == nullptr) return std::nullopt;
+  return desc->get(cfg);
+}
+
+}  // namespace creditflow::scenario

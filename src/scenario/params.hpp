@@ -1,0 +1,44 @@
+// CreditFlow scenario engine: the declarative parameter namespace.
+//
+// Every tunable of a market run is addressable by a stable string key
+// ("credits", "tax.rate", "churn.arrival_rate", ...) with a uniform double
+// value (booleans are 0/1, enums their small-integer code). Scenario specs,
+// sweep axes, and the CLI all speak this one namespace, so a parameter
+// added here is immediately sweepable, serializable, and scriptable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/market.hpp"
+
+namespace creditflow::scenario {
+
+/// One addressable parameter: name, doc line, and typed accessors.
+struct ParamDesc {
+  std::string_view key;
+  std::string_view doc;
+  double (*get)(const core::MarketConfig&);
+  void (*set)(core::MarketConfig&, double);
+};
+
+/// The full parameter table in canonical (serialization) order. Order
+/// matters when applying a whole spec: e.g. `peers` raises `max_peers` to
+/// stay consistent, and a later explicit `max_peers` entry then overrides.
+[[nodiscard]] const std::vector<ParamDesc>& param_table();
+
+/// Resolve a key (or one of its aliases: `c` → credits, `n` → peers) to its
+/// descriptor; nullptr for unknown keys.
+[[nodiscard]] const ParamDesc* find_param(std::string_view key);
+
+/// Set one named parameter. Returns false (config untouched) for unknown
+/// keys.
+bool apply_param(core::MarketConfig& cfg, std::string_view key, double value);
+
+/// Read one named parameter; nullopt for unknown keys.
+[[nodiscard]] std::optional<double> read_param(const core::MarketConfig& cfg,
+                                               std::string_view key);
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,212 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+/// The paper's baseline market (Sec. VI): scale-free overlay, uniform
+/// 1-credit pricing, symmetric capabilities — what bench_common's
+/// paper_baseline builds, as a spec.
+ScenarioSpec paper_baseline(std::string name, std::string description,
+                            std::size_t peers, std::uint64_t credits,
+                            double horizon) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.config.protocol.initial_peers = peers;
+  spec.config.protocol.max_peers = peers;
+  spec.config.protocol.initial_credits = credits;
+  spec.config.protocol.seed = 2012;
+  spec.config.horizon = horizon;
+  spec.config.snapshot_interval = std::max(50.0, horizon / 40.0);
+  return spec;
+}
+
+/// Asymmetric-utilization variant: heterogeneous spending rates (lognormal,
+/// CV 0.3) — frugal peers accumulate, the condensation pressure is real.
+ScenarioSpec paper_asymmetric(std::string name, std::string description,
+                              std::size_t peers, std::uint64_t credits,
+                              double horizon) {
+  auto spec = paper_baseline(std::move(name), std::move(description), peers,
+                             credits, horizon);
+  spec.config.protocol.heterogeneity.spend_rate_cv = 0.3;
+  return spec;
+}
+
+ScenarioRegistry make_builtin() {
+  ScenarioRegistry reg;
+
+  reg.add(paper_baseline(
+      "baseline", "Paper baseline: symmetric utilization, c = 100.", 500,
+      100, 20000.0));
+  reg.add(paper_asymmetric(
+      "asymmetric",
+      "Asymmetric utilization: heterogeneous spending rates, CV 0.3.", 500,
+      100, 20000.0));
+
+  {
+    // Fig. 1, condensed: "without careful design" — capacity headroom
+    // captured by chunk-rich peers, Poisson prices, no liquidity
+    // management, no server help. Warmup 0.9: spending rates are read over
+    // the trailing tenth of the (doubled) run.
+    auto spec = paper_baseline(
+        "fig01_condensed",
+        "Fig. 1 condensed case: c = 200, Poisson prices, fill-weighted "
+        "sellers, no safeguards.",
+        500, 200, 12000.0);
+    spec.config.protocol.upload_capacity = 8.0;
+    spec.config.protocol.seller_choice =
+        p2p::ProtocolConfig::SellerChoice::kFillWeighted;
+    spec.config.protocol.pricing.kind = econ::PricingKind::kPoisson;
+    spec.config.protocol.pricing.poisson_mean = 1.0;
+    spec.config.protocol.reserve_credits = 0.0;
+    spec.config.protocol.deficit_seeding = false;
+    spec.warmup_fraction = 0.9;
+    reg.add(std::move(spec));
+  }
+  {
+    auto spec = paper_baseline(
+        "fig01_balanced",
+        "Fig. 1 balanced case: c = 12, uniform 1-credit pricing.", 500, 12,
+        6000.0);
+    spec.warmup_fraction = 0.9;
+    reg.add(std::move(spec));
+  }
+
+  reg.add(paper_baseline(
+      "fig04_efficiency",
+      "Fig. 4 exchange-efficiency operating point: small market, short "
+      "horizon.",
+      300, 100, 3000.0));
+
+  reg.add(paper_baseline(
+      "fig07_symmetric",
+      "Fig. 7: Gini(t) under symmetric utilization; sweep credits over "
+      "{50, 100, 200}.",
+      500, 100, 20000.0));
+
+  reg.add(paper_asymmetric(
+      "fig08_asymmetric",
+      "Fig. 8: Gini(t) under asymmetric utilization; sweep credits over "
+      "{50, 100, 200}.",
+      500, 100, 20000.0));
+
+  {
+    auto spec = paper_asymmetric(
+        "fig09_taxation",
+        "Fig. 9: threshold income taxation in the asymmetric market; sweep "
+        "tax.rate and tax.threshold.",
+        400, 100, 15000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 30.0;
+    spec.config.protocol.tax.enabled = true;
+    spec.config.protocol.tax.rate = 0.1;
+    spec.config.protocol.tax.threshold = 50.0;
+    reg.add(std::move(spec));
+  }
+  {
+    auto spec = paper_asymmetric(
+        "fig10_dynamic_spending",
+        "Fig. 10: dynamic spending-rate adjustment with wealth threshold "
+        "m; sweep spending.threshold.",
+        400, 100, 15000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 30.0;
+    spec.config.protocol.spending.dynamic = true;
+    spec.config.protocol.spending.dynamic_threshold = 100.0;
+    reg.add(std::move(spec));
+  }
+  {
+    auto spec = paper_asymmetric(
+        "fig11_churn",
+        "Fig. 11: the open market — Poisson arrivals, exponential "
+        "lifespans; sweep churn.arrival_rate and churn.mean_lifespan.",
+        500, 100, 8000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 20.0;
+    spec.config.protocol.churn.enabled = true;
+    spec.config.protocol.churn.arrival_rate = 1.0;
+    spec.config.protocol.churn.mean_lifespan = 500.0;
+    // Headroom for the churning population on top of the bootstrap cohort.
+    spec.config.protocol.max_peers =
+        spec.config.protocol.initial_peers +
+        static_cast<std::size_t>(1.0 * 500.0) / 2 + 256;
+    reg.add(std::move(spec));
+  }
+  {
+    // ext01: first-price procurement auction in the condensed-pressure
+    // market (the pricing mechanism the paper defers to future work).
+    auto spec = paper_baseline(
+        "ext01_auction",
+        "Extension: cheapest-ask procurement auction under condensation "
+        "pressure.",
+        400, 200, 8000.0);
+    spec.config.protocol.upload_capacity = 8.0;
+    spec.config.protocol.pricing.kind = econ::PricingKind::kPoisson;
+    spec.config.protocol.pricing.poisson_mean = 1.0;
+    spec.config.protocol.reserve_credits = 0.0;
+    spec.config.protocol.deficit_seeding = false;
+    spec.config.protocol.seller_choice =
+        p2p::ProtocolConfig::SellerChoice::kCheapestAsk;
+    reg.add(std::move(spec));
+  }
+  {
+    auto spec = paper_asymmetric(
+        "ext02_injection",
+        "Extension: periodic credit injection (inflation trade-off); sweep "
+        "inject.interval.",
+        400, 100, 12000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 24.0;
+    spec.config.protocol.injection.enabled = true;
+    spec.config.protocol.injection.interval_seconds = 100.0;
+    spec.config.protocol.injection.credits_per_peer = 1;
+    reg.add(std::move(spec));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  for (auto& existing : specs_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+ScenarioSpec ScenarioRegistry::get(std::string_view name) const {
+  const ScenarioSpec* spec = find(name);
+  CF_EXPECTS_MSG(spec != nullptr,
+                 "unknown scenario: " + std::string(name));
+  return *spec;
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec.name);
+  return out;
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry kRegistry = make_builtin();
+  return kRegistry;
+}
+
+}  // namespace creditflow::scenario

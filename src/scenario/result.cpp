@@ -1,0 +1,293 @@
+#include "scenario/result.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+/// Deterministic shortest-round-trip rendering: the same double always
+/// yields the same bytes, so sweep outputs diff cleanly across runs and
+/// worker counts.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  // Whole numbers print as integers ("20", not "2e+01").
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void ResultSink::add(RunResult result) {
+  runs_.push_back(std::move(result));
+  // Keep run-index order regardless of insertion order: aggregation and
+  // emission then never depend on completion order.
+  for (std::size_t i = runs_.size(); i > 1; --i) {
+    if (runs_[i - 1].run_index >= runs_[i - 2].run_index) break;
+    std::swap(runs_[i - 1], runs_[i - 2]);
+  }
+}
+
+void ResultSink::add_all(std::vector<RunResult> results) {
+  for (auto& r : results) add(std::move(r));
+}
+
+std::vector<AggregateRow> ResultSink::aggregate() const {
+  std::vector<AggregateRow> rows;
+  for (const RunResult& run : runs_) {
+    if (rows.empty() || rows.back().point_index != run.point_index) {
+      AggregateRow row;
+      row.point_index = run.point_index;
+      row.params = run.params;
+      rows.push_back(std::move(row));
+    }
+    AggregateRow& row = rows.back();
+    if (!run.error.empty()) {
+      ++row.failures;
+      continue;
+    }
+    ++row.seeds;
+    if (row.metrics.empty()) {
+      for (const auto& [name, value] : run.metrics) {
+        MetricStat stat;
+        stat.mean = value;  // temporarily the running sum
+        stat.n = 1;
+        row.metrics.emplace_back(name, stat);
+      }
+      continue;
+    }
+    CF_EXPECTS_MSG(row.metrics.size() == run.metrics.size(),
+                   "runs of one grid point disagree on their metric set");
+    for (std::size_t k = 0; k < run.metrics.size(); ++k) {
+      row.metrics[k].second.mean += run.metrics[k].second;
+      ++row.metrics[k].second.n;
+    }
+  }
+
+  // Finalize: sums → means, then a second pass for the spread. Runs are
+  // kept sorted by run_index, so each row's runs occupy one contiguous
+  // slice of runs_ — the spread pass walks runs_ exactly once overall.
+  for (AggregateRow& row : rows) {
+    for (auto& [name, stat] : row.metrics) {
+      stat.mean /= static_cast<double>(stat.n);
+    }
+  }
+  std::size_t cursor = 0;
+  for (AggregateRow& row : rows) {
+    const std::size_t begin = cursor;
+    while (cursor < runs_.size() &&
+           runs_[cursor].point_index == row.point_index) {
+      ++cursor;
+    }
+    if (row.seeds < 2) continue;
+    for (std::size_t k = 0; k < row.metrics.size(); ++k) {
+      double sq = 0.0;
+      for (std::size_t i = begin; i < cursor; ++i) {
+        if (!runs_[i].error.empty()) continue;
+        const double d =
+            runs_[i].metrics[k].second - row.metrics[k].second.mean;
+        sq += d * d;
+      }
+      MetricStat& stat = row.metrics[k].second;
+      stat.stddev = std::sqrt(sq / static_cast<double>(stat.n - 1));
+      stat.ci95 = 1.96 * stat.stddev / std::sqrt(static_cast<double>(stat.n));
+    }
+  }
+  return rows;
+}
+
+std::string ResultSink::runs_csv() const {
+  // Metric columns come from the first successful run (errored runs carry
+  // no metrics and are padded to the same width).
+  const RunResult* proto = nullptr;
+  for (const RunResult& run : runs_) {
+    if (run.error.empty()) {
+      proto = &run;
+      break;
+    }
+  }
+  const std::size_t metric_cols = proto ? proto->metrics.size() : 0;
+
+  std::ostringstream out;
+  out << "run_index,point_index,seed_index,seed";
+  if (!runs_.empty()) {
+    for (const auto& [name, value] : runs_.front().params) {
+      out << ',' << csv_quote(name);
+    }
+    if (proto) {
+      for (const auto& [name, value] : proto->metrics) {
+        out << ',' << csv_quote(name);
+      }
+    }
+    out << ",error";
+  }
+  out << '\n';
+  for (const RunResult& run : runs_) {
+    out << run.run_index << ',' << run.point_index << ',' << run.seed_index
+        << ',' << run.seed;
+    for (const auto& [name, value] : run.params) {
+      out << ',' << format_value(value);
+    }
+    if (run.error.empty()) {
+      for (const auto& [name, value] : run.metrics) {
+        out << ',' << format_value(value);
+      }
+      out << ',';
+    } else {
+      for (std::size_t k = 0; k < metric_cols; ++k) out << ',';
+      out << ',' << csv_quote(run.error);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ResultSink::aggregate_csv() const {
+  const auto rows = aggregate();
+  // Metric columns come from the first row that has any successful runs
+  // (an all-failed grid point carries no metrics and is padded instead).
+  const AggregateRow* proto = nullptr;
+  for (const AggregateRow& row : rows) {
+    if (!row.metrics.empty()) {
+      proto = &row;
+      break;
+    }
+  }
+
+  std::ostringstream out;
+  out << "point_index";
+  if (!rows.empty()) {
+    for (const auto& [name, value] : rows.front().params) {
+      out << ',' << csv_quote(name);
+    }
+    out << ",seeds,failures";
+    if (proto) {
+      for (const auto& [name, stat] : proto->metrics) {
+        out << ',' << csv_quote(name) << "_mean," << csv_quote(name)
+            << "_sd," << csv_quote(name) << "_ci95";
+      }
+    }
+  }
+  out << '\n';
+  for (const AggregateRow& row : rows) {
+    out << row.point_index;
+    for (const auto& [name, value] : row.params) {
+      out << ',' << format_value(value);
+    }
+    out << ',' << row.seeds << ',' << row.failures;
+    if (row.metrics.empty()) {
+      const std::size_t cols = proto ? proto->metrics.size() * 3 : 0;
+      for (std::size_t k = 0; k < cols; ++k) out << ',';
+    } else {
+      for (const auto& [name, stat] : row.metrics) {
+        out << ',' << format_value(stat.mean) << ','
+            << format_value(stat.stddev) << ',' << format_value(stat.ci95);
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ResultSink::aggregate_json() const {
+  const auto rows = aggregate();
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AggregateRow& row = rows[i];
+    out << "  {\"point_index\": " << row.point_index << ", \"params\": {";
+    for (std::size_t k = 0; k < row.params.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << '"' << row.params[k].first
+          << "\": " << format_value(row.params[k].second);
+    }
+    out << "}, \"seeds\": " << row.seeds
+        << ", \"failures\": " << row.failures << ", \"metrics\": {";
+    for (std::size_t k = 0; k < row.metrics.size(); ++k) {
+      const auto& [name, stat] = row.metrics[k];
+      if (k > 0) out << ", ";
+      // NaN (e.g. a windowed metric with no rate window) → JSON null.
+      const auto number = [](double v) {
+        const std::string s = format_value(v);
+        return s == "nan" ? std::string("null") : s;
+      };
+      out << '"' << name << "\": {\"mean\": " << number(stat.mean)
+          << ", \"sd\": " << number(stat.stddev)
+          << ", \"ci95\": " << number(stat.ci95) << '}';
+    }
+    out << "}}" << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+util::ConsoleTable ResultSink::aggregate_table(
+    const std::string& title,
+    std::span<const std::string> metric_names) const {
+  const auto rows = aggregate();
+  util::ConsoleTable table(title);
+  std::vector<std::string> header;
+  if (!rows.empty()) {
+    for (const auto& [name, value] : rows.front().params) {
+      header.push_back(name);
+    }
+  }
+  header.emplace_back("seeds");
+  for (const auto& name : metric_names) header.push_back(name);
+  table.set_header(std::move(header));
+
+  for (const AggregateRow& row : rows) {
+    std::vector<util::Cell> cells;
+    for (const auto& [name, value] : row.params) cells.emplace_back(value);
+    cells.emplace_back(static_cast<std::int64_t>(row.seeds));
+    for (const auto& wanted : metric_names) {
+      // A grid point whose runs all failed has no metrics at all — render
+      // it as "failed" rather than rejecting the whole table.
+      if (row.metrics.empty()) {
+        cells.emplace_back(std::string("failed"));
+        continue;
+      }
+      const auto it = std::find_if(
+          row.metrics.begin(), row.metrics.end(),
+          [&](const auto& entry) { return entry.first == wanted; });
+      CF_EXPECTS_MSG(it != row.metrics.end(),
+                     "unknown metric in aggregate_table: " + wanted);
+      if (row.seeds > 1) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f ±%.4f", it->second.mean,
+                      it->second.ci95);
+        cells.emplace_back(std::string(buf));
+      } else {
+        cells.emplace_back(it->second.mean);
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace creditflow::scenario

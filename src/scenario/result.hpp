@@ -1,0 +1,63 @@
+// CreditFlow scenario engine: ResultSink — aggregation of sweep runs into
+// per-grid-point statistics and their CSV/JSON/console renderings.
+//
+// Runs are grouped by grid point; each metric aggregates across the seed
+// replications into mean ± stddev ± 95% CI. Aggregation iterates runs in
+// run-index order, so the emitted bytes are identical regardless of how
+// many worker threads produced the results.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "util/table.hpp"
+
+namespace creditflow::scenario {
+
+/// Mean ± spread of one metric across a grid point's replications.
+struct MetricStat {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1); 0 for a single replication
+  double ci95 = 0.0;    ///< 1.96 * stddev / sqrt(n)
+  std::size_t n = 0;
+};
+
+/// One aggregated grid point.
+struct AggregateRow {
+  std::size_t point_index = 0;
+  std::vector<std::pair<std::string, double>> params;
+  std::size_t seeds = 0;     ///< successful runs aggregated
+  std::size_t failures = 0;  ///< runs that errored (excluded from stats)
+  std::vector<std::pair<std::string, MetricStat>> metrics;
+};
+
+/// Collects RunResults and renders aggregates.
+class ResultSink {
+ public:
+  void add(RunResult result);
+  void add_all(std::vector<RunResult> results);
+
+  [[nodiscard]] std::size_t size() const { return runs_.size(); }
+  [[nodiscard]] const std::vector<RunResult>& runs() const { return runs_; }
+
+  /// Per-grid-point aggregation, ordered by point index.
+  [[nodiscard]] std::vector<AggregateRow> aggregate() const;
+
+  /// Raw per-run CSV: run metadata + axis values + every metric.
+  [[nodiscard]] std::string runs_csv() const;
+  /// Aggregated CSV: axis values + seeds + {metric}_mean/_sd/_ci95 columns.
+  [[nodiscard]] std::string aggregate_csv() const;
+  /// Aggregated JSON array (objects mirror AggregateRow).
+  [[nodiscard]] std::string aggregate_json() const;
+  /// Console table of selected metrics ("mean ± ci95" cells).
+  [[nodiscard]] util::ConsoleTable aggregate_table(
+      const std::string& title,
+      std::span<const std::string> metric_names) const;
+
+ private:
+  std::vector<RunResult> runs_;
+};
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,89 @@
+// CreditFlow scenario engine: the parallel multi-seed sweep runner.
+//
+// Expands (base spec × sweep grid × seeds) into a run list and executes it
+// on a worker pool. Each run is an independent CreditMarket with its own
+// derived RNG stream; results land in a pre-sized vector slot keyed by run
+// index, so the output — and everything aggregated from it — is identical
+// whether the sweep executes on 1 thread or N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/report.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+
+namespace creditflow::scenario {
+
+/// Outcome of one run of a sweep.
+struct RunResult {
+  std::size_t run_index = 0;
+  std::size_t point_index = 0;
+  std::size_t seed_index = 0;
+  std::uint64_t seed = 0;  ///< the derived per-run protocol seed
+
+  /// Axis values of this run's grid point, in axis order.
+  std::vector<std::pair<std::string, double>> params;
+  /// Scalar readouts (standard_metrics order): gini, buffer fill, spend
+  /// rates, exchange efficiency, ...
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Full report (time series, final snapshots); cleared when the runner
+  /// is configured with keep_reports = false.
+  core::MarketReport report;
+  /// Non-empty when the run threw; metrics are then empty.
+  std::string error;
+
+  /// Metric by name; NaN when absent.
+  [[nodiscard]] double metric(std::string_view name) const;
+};
+
+/// Executes a sweep over a thread pool.
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 → hardware concurrency.
+    std::size_t jobs = 0;
+    /// Keep each run's full MarketReport (time series + final vectors).
+    /// Disable for huge grids where only the scalar metrics matter.
+    bool keep_reports = true;
+    /// Called after each run completes (from worker threads, serialized —
+    /// safe to print from). Progress reporting only; results are final.
+    std::function<void(const RunResult&)> on_result;
+  };
+
+  SweepRunner(ScenarioSpec base, SweepSpec sweep);
+  SweepRunner(ScenarioSpec base, SweepSpec sweep, Options options);
+
+  /// Execute every run; returns results indexed by run_index. Callable
+  /// once per instance.
+  [[nodiscard]] std::vector<RunResult> run();
+
+  [[nodiscard]] const ScenarioSpec& base() const { return base_; }
+  [[nodiscard]] const SweepSpec& sweep() const { return sweep_; }
+
+  /// The scalar readouts extracted from every run, in emission order.
+  [[nodiscard]] static std::vector<std::pair<std::string, double>>
+  standard_metrics(const core::MarketConfig& cfg,
+                   const core::MarketReport& report);
+
+ private:
+  RunResult execute_one(std::size_t run_index) const;
+
+  ScenarioSpec base_;
+  SweepSpec sweep_;
+  Options options_;
+  bool ran_ = false;
+};
+
+/// Convenience: run a single scenario synchronously, exactly as written —
+/// the spec's own seed is used verbatim (unlike sweep runs, which derive a
+/// per-run stream), so the result matches a direct CreditMarket run of
+/// spec.materialize().
+[[nodiscard]] RunResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,15 @@
+// CreditFlow scenario engine — umbrella header.
+//
+// Declarative experiment specs (spec.hpp) over a uniform parameter
+// namespace (params.hpp), named presets per paper figure (registry.hpp),
+// parameter-grid expansion with multi-seed replication (sweep.hpp), a
+// parallel deterministic runner (runner.hpp), and mean ± CI aggregation
+// with CSV/JSON emission (result.hpp).
+#pragma once
+
+#include "scenario/params.hpp"    // IWYU pragma: export
+#include "scenario/registry.hpp"  // IWYU pragma: export
+#include "scenario/result.hpp"    // IWYU pragma: export
+#include "scenario/runner.hpp"    // IWYU pragma: export
+#include "scenario/spec.hpp"      // IWYU pragma: export
+#include "scenario/sweep.hpp"     // IWYU pragma: export

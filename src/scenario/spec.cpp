@@ -1,0 +1,117 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "scenario/params.hpp"
+#include "util/assert.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+/// Shortest decimal form that round-trips the exact double (%.17g would
+/// too, but prints 0.1 as 0.10000000000000001).
+std::string format_value(double v) {
+  char buf[64];
+  // Whole numbers print as integers ("20", not "2e+01").
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+core::MarketConfig ScenarioSpec::materialize() const {
+  core::MarketConfig cfg = config;
+  if (warmup_fraction > 0.0) {
+    cfg.rate_window_start = warmup_fraction * cfg.horizon;
+  }
+  return cfg;
+}
+
+bool ScenarioSpec::set(std::string_view key, double value) {
+  if (key == "warmup") {
+    warmup_fraction = value;
+    return true;
+  }
+  return apply_param(config, key, value);
+}
+
+std::optional<double> ScenarioSpec::get(std::string_view key) const {
+  if (key == "warmup") return warmup_fraction;
+  return read_param(config, key);
+}
+
+std::string ScenarioSpec::serialize() const {
+  std::ostringstream out;
+  out << "scenario " << name << "\n";
+  if (!description.empty()) {
+    std::istringstream lines(description);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << "\n";
+  }
+  out << "warmup = " << format_value(warmup_fraction) << "\n";
+  for (const auto& desc : param_table()) {
+    out << desc.key << " = " << format_value(desc.get(config)) << "\n";
+  }
+  return out.str();
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  std::string description;
+  std::istringstream lines(text);
+  std::string raw;
+  while (std::getline(lines, raw)) {
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      auto comment = trim(line.substr(1));
+      if (!description.empty()) description += '\n';
+      description.append(comment);
+      continue;
+    }
+    if (line.rfind("scenario ", 0) == 0) {
+      spec.name = std::string(trim(line.substr(9)));
+      continue;
+    }
+    const auto eq = line.find('=');
+    CF_EXPECTS_MSG(eq != std::string_view::npos,
+                   "scenario line is neither comment nor key = value: " +
+                       std::string(line));
+    const auto key = trim(line.substr(0, eq));
+    const auto value_text = trim(line.substr(eq + 1));
+    char* end = nullptr;
+    const std::string value_str(value_text);
+    const double value = std::strtod(value_str.c_str(), &end);
+    CF_EXPECTS_MSG(end != value_str.c_str() && *end == '\0',
+                   "bad numeric value for " + std::string(key) + ": " +
+                       value_str);
+    CF_EXPECTS_MSG(spec.set(key, value),
+                   "unknown scenario parameter: " + std::string(key));
+  }
+  spec.description = std::move(description);
+  return spec;
+}
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,108 @@
+#include "scenario/sweep.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "scenario/params.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+double parse_number(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  CF_EXPECTS_MSG(end != text.c_str() && *end == '\0',
+                 "bad number in sweep axis: " + text);
+  return v;
+}
+
+}  // namespace
+
+SweepAxis SweepAxis::parse(const std::string& text) {
+  const auto eq = text.find('=');
+  CF_EXPECTS_MSG(eq != std::string::npos,
+                 "sweep axis must be key=values, got: " + text);
+  SweepAxis axis;
+  axis.param = text.substr(0, eq);
+  CF_EXPECTS_MSG(find_param(axis.param) != nullptr || axis.param == "warmup",
+                 "unknown sweep parameter: " + axis.param);
+  const std::string values = text.substr(eq + 1);
+  CF_EXPECTS_MSG(!values.empty(), "empty sweep axis: " + text);
+
+  if (values.find(':') != std::string::npos) {
+    // lo:hi:step inclusive range (step defaults to 1).
+    const auto c1 = values.find(':');
+    const auto c2 = values.find(':', c1 + 1);
+    const double lo = parse_number(values.substr(0, c1));
+    const double hi = parse_number(
+        values.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                      : c2 - c1 - 1));
+    const double step =
+        c2 == std::string::npos ? 1.0 : parse_number(values.substr(c2 + 1));
+    CF_EXPECTS_MSG(step > 0.0, "sweep step must be positive: " + text);
+    CF_EXPECTS_MSG(hi >= lo, "sweep range is empty: " + text);
+    // Index-based stepping avoids accumulating float error over long ranges;
+    // the epsilon admits hi itself when (hi-lo) is a whole multiple of step.
+    const auto count = static_cast<std::size_t>(
+        std::floor((hi - lo) / step + 1e-9)) + 1;
+    axis.values.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      axis.values.push_back(lo + static_cast<double>(i) * step);
+    }
+  } else {
+    // Comma-separated list (or a single value).
+    std::size_t pos = 0;
+    while (pos <= values.size()) {
+      const auto comma = values.find(',', pos);
+      const auto end = comma == std::string::npos ? values.size() : comma;
+      axis.values.push_back(parse_number(values.substr(pos, end - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  CF_ENSURES(!axis.values.empty());
+  return axis;
+}
+
+std::size_t SweepSpec::num_points() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<double> SweepSpec::point(std::size_t point_index) const {
+  CF_EXPECTS(point_index < num_points());
+  std::vector<double> out(axes.size());
+  // Mixed-radix decomposition, last axis fastest.
+  std::size_t rem = point_index;
+  for (std::size_t k = axes.size(); k-- > 0;) {
+    const auto radix = axes[k].values.size();
+    out[k] = axes[k].values[rem % radix];
+    rem /= radix;
+  }
+  return out;
+}
+
+ScenarioSpec SweepSpec::instantiate(const ScenarioSpec& base,
+                                    std::size_t run_index) const {
+  CF_EXPECTS(seeds >= 1);
+  CF_EXPECTS(run_index < num_runs());
+  const std::size_t point_index = run_index / seeds;
+
+  ScenarioSpec spec = base;
+  const auto values = point(point_index);
+  for (std::size_t k = 0; k < axes.size(); ++k) {
+    CF_EXPECTS_MSG(spec.set(axes[k].param, values[k]),
+                   "unknown sweep parameter: " + axes[k].param);
+  }
+  // Per-run stream derivation AFTER the axes apply, so an axis may sweep
+  // the base seed itself and still get decorrelated replications.
+  spec.config.protocol.seed =
+      util::derive_seed(spec.config.protocol.seed, run_index);
+  return spec;
+}
+
+}  // namespace creditflow::scenario

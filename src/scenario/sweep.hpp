@@ -1,0 +1,48 @@
+// CreditFlow scenario engine: parameter grids and their expansion.
+//
+// A SweepSpec is a list of axes over the scenario parameter namespace plus
+// a replication count. Axes expand as a cartesian product (first axis
+// slowest), and each grid point is replicated `seeds` times with
+// independent derived RNG streams; run k of a sweep is a pure function of
+// (base spec, sweep spec, k), never of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace creditflow::scenario {
+
+/// One sweep dimension: a parameter key and its values.
+struct SweepAxis {
+  std::string param;
+  std::vector<double> values;
+
+  /// Parse "key=lo:hi:step" (inclusive arithmetic range), "key=a,b,c"
+  /// (explicit list), or "key=v" (one value). Throws on malformed text,
+  /// unknown keys, or empty ranges.
+  [[nodiscard]] static SweepAxis parse(const std::string& text);
+};
+
+/// A full sweep: the cartesian grid of the axes × `seeds` replications.
+struct SweepSpec {
+  std::vector<SweepAxis> axes;  ///< empty → the single base point
+  std::size_t seeds = 1;        ///< replications per grid point
+
+  [[nodiscard]] std::size_t num_points() const;
+  [[nodiscard]] std::size_t num_runs() const { return num_points() * seeds; }
+
+  /// Axis values at grid point `point` (size == axes.size(); first axis
+  /// varies slowest). point < num_points().
+  [[nodiscard]] std::vector<double> point(std::size_t point_index) const;
+
+  /// The spec for one run: base with the grid point's axis values applied
+  /// and the protocol seed derived from (base seed, run_index). run_index
+  /// = point_index * seeds + seed_index.
+  [[nodiscard]] ScenarioSpec instantiate(const ScenarioSpec& base,
+                                         std::size_t run_index) const;
+};
+
+}  // namespace creditflow::scenario

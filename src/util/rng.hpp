@@ -31,6 +31,25 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derive an independent seed for the `index`-th logical substream of
+/// `base_seed`. Pure function of its arguments (no shared state), so sweep
+/// workers on any thread can derive their run seed without synchronization,
+/// and run k of a sweep always sees the same stream regardless of which
+/// worker executes it or in what order. Two SplitMix64 finalization rounds
+/// over (base, index) decorrelate even adjacent indices and adjacent bases.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                                  std::uint64_t index) {
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = mix(z);
+  z = mix(z + 0x9e3779b97f4a7c15ULL);
+  return z;
+}
+
 /// xoshiro256** generator with a rich distribution toolkit.
 ///
 /// Satisfies UniformRandomBitGenerator so it can also feed <random>

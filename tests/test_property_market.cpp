@@ -60,7 +60,9 @@ TEST_P(MarketProperty, InvariantsHold) {
     const double circulating = std::accumulate(
         report.final_balances.begin(), report.final_balances.end(), 0.0);
     EXPECT_LE(circulating, total + 1e-9);
-    if (!g.tax) EXPECT_NEAR(circulating, total, 1e-9);
+    if (!g.tax) {
+      EXPECT_NEAR(circulating, total, 1e-9);
+    }
   }
 
   // 3. Gini metrics live in [0, 1).
@@ -86,7 +88,9 @@ TEST_P(MarketProperty, InvariantsHold) {
 
   // 6. Tax bookkeeping is consistent.
   EXPECT_GE(report.tax_collected, report.tax_redistributed);
-  if (!g.tax) EXPECT_EQ(report.tax_collected, 0u);
+  if (!g.tax) {
+    EXPECT_EQ(report.tax_collected, 0u);
+  }
 
   // 7. Determinism: the same config reruns identically.
   CreditMarket twin(config_for(g));

@@ -227,6 +227,49 @@ TEST(Protocol, DynamicSpendingReducesInequalityVsFixed) {
   EXPECT_LT(run(true), run(false));
 }
 
+TEST(Protocol, SimulatorMayOutliveProtocol) {
+  // The protocol schedules rounds, churn arrivals/departures, and injection
+  // ticks that capture `this`. Destroying the protocol mid-run must leave
+  // the simulator free to keep draining its queue without touching freed
+  // state, and the self-rescheduling periodic tasks must stop re-arming.
+  sim::Simulator sim;
+  {
+    ProtocolConfig cfg = small_config();
+    cfg.churn.enabled = true;
+    cfg.churn.arrival_rate = 0.5;
+    cfg.churn.mean_lifespan = 40.0;
+    cfg.injection.enabled = true;
+    cfg.injection.interval_seconds = 10.0;
+    StreamingProtocol proto(cfg, sim);
+    proto.start();
+    sim.run_until(50.0);
+    EXPECT_GT(proto.rounds_run(), 0u);
+  }
+  // Pending rounds/arrivals/departures fire as guarded no-ops, and the
+  // cancelled periodic tasks stop re-arming — so the queue must fully
+  // drain once the longest one-shot churn timer has fired (exponential
+  // lifespans scheduled before t=50 are all far below 2000 for this seed).
+  sim.run_until(2000.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Protocol, DestroyedProtocolStopsMutatingSharedState) {
+  // Two protocols time-share one simulator; killing the first must not
+  // disturb the second's rounds.
+  sim::Simulator sim;
+  auto first = std::make_unique<StreamingProtocol>(small_config(), sim);
+  first->start();
+  ProtocolConfig cfg2 = small_config();
+  cfg2.seed = 123;
+  StreamingProtocol second(cfg2, sim);
+  second.start();
+  sim.run_until(20.0);
+  first.reset();
+  sim.run_until(60.0);
+  EXPECT_EQ(second.rounds_run(), 60u);
+  EXPECT_TRUE(second.ledger().audit());
+}
+
 TEST(Protocol, RejectsBadConfigs) {
   sim::Simulator sim;
   ProtocolConfig cfg = small_config();

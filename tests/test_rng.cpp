@@ -258,6 +258,48 @@ TEST(FenwickSampler, DynamicUpdates) {
   EXPECT_DOUBLE_EQ(fs.total(), 0.0);
 }
 
+TEST(DeriveSeed, PureAndDeterministic) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_EQ(derive_seed(0, 7), derive_seed(0, 7));
+}
+
+TEST(DeriveSeed, AdjacentIndicesDecorrelated) {
+  // Streams seeded from consecutive run indices must not overlap: compare
+  // the first draws of many adjacent derivations.
+  std::vector<std::uint64_t> firsts;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    Rng rng(derive_seed(2012, k));
+    firsts.push_back(rng.next_u64());
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(std::adjacent_find(firsts.begin(), firsts.end()), firsts.end());
+}
+
+TEST(DeriveSeed, AdjacentBasesDecorrelated) {
+  // base+1 with index k must not collide with base at index k+1 (the naive
+  // base+index addition would); the double finalization prevents it.
+  EXPECT_NE(derive_seed(100, 1), derive_seed(101, 0));
+  EXPECT_NE(derive_seed(100, 0), derive_seed(100, 1));
+  int low_bit_agreement = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    if ((derive_seed(7, k) & 1u) == (derive_seed(8, k) & 1u)) {
+      ++low_bit_agreement;
+    }
+  }
+  EXPECT_GT(low_bit_agreement, 8);   // not anti-correlated either
+  EXPECT_LT(low_bit_agreement, 56);  // ~32 expected for independent bits
+}
+
+TEST(DeriveSeed, DistinctSeedsYieldDivergentStreams) {
+  Rng a(derive_seed(9, 0));
+  Rng b(derive_seed(9, 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(FenwickSampler, GetReflectsSet) {
   FenwickSampler fs(4);
   fs.set(3, 2.5);
