@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext01_auction_pricing.dir/bench/ext01_auction_pricing.cpp.o"
+  "CMakeFiles/bench_ext01_auction_pricing.dir/bench/ext01_auction_pricing.cpp.o.d"
+  "ext01_auction_pricing"
+  "ext01_auction_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext01_auction_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

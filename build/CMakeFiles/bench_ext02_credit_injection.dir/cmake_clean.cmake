@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext02_credit_injection.dir/bench/ext02_credit_injection.cpp.o"
+  "CMakeFiles/bench_ext02_credit_injection.dir/bench/ext02_credit_injection.cpp.o.d"
+  "ext02_credit_injection"
+  "ext02_credit_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext02_credit_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

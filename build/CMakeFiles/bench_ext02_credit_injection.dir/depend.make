@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext02_credit_injection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_spending_rates.dir/bench/fig01_spending_rates.cpp.o"
+  "CMakeFiles/bench_fig01_spending_rates.dir/bench/fig01_spending_rates.cpp.o.d"
+  "fig01_spending_rates"
+  "fig01_spending_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_spending_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

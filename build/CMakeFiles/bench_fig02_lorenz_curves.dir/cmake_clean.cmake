@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_lorenz_curves.dir/bench/fig02_lorenz_curves.cpp.o"
+  "CMakeFiles/bench_fig02_lorenz_curves.dir/bench/fig02_lorenz_curves.cpp.o.d"
+  "fig02_lorenz_curves"
+  "fig02_lorenz_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_lorenz_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

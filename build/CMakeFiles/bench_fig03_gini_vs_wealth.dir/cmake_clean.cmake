@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_gini_vs_wealth.dir/bench/fig03_gini_vs_wealth.cpp.o"
+  "CMakeFiles/bench_fig03_gini_vs_wealth.dir/bench/fig03_gini_vs_wealth.cpp.o.d"
+  "fig03_gini_vs_wealth"
+  "fig03_gini_vs_wealth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_gini_vs_wealth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

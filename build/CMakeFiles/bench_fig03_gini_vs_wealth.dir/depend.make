@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_gini_vs_wealth.
+# This may be replaced when dependencies are built.

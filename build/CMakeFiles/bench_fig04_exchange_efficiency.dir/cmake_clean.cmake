@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_exchange_efficiency.dir/bench/fig04_exchange_efficiency.cpp.o"
+  "CMakeFiles/bench_fig04_exchange_efficiency.dir/bench/fig04_exchange_efficiency.cpp.o.d"
+  "fig04_exchange_efficiency"
+  "fig04_exchange_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_exchange_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_06_convergence.dir/bench/fig05_06_convergence.cpp.o"
+  "CMakeFiles/bench_fig05_06_convergence.dir/bench/fig05_06_convergence.cpp.o.d"
+  "fig05_06_convergence"
+  "fig05_06_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_06_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

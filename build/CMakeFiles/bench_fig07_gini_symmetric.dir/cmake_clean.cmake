@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_gini_symmetric.dir/bench/fig07_gini_symmetric.cpp.o"
+  "CMakeFiles/bench_fig07_gini_symmetric.dir/bench/fig07_gini_symmetric.cpp.o.d"
+  "fig07_gini_symmetric"
+  "fig07_gini_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_gini_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_gini_asymmetric.dir/bench/fig08_gini_asymmetric.cpp.o"
+  "CMakeFiles/bench_fig08_gini_asymmetric.dir/bench/fig08_gini_asymmetric.cpp.o.d"
+  "fig08_gini_asymmetric"
+  "fig08_gini_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_gini_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_taxation.dir/bench/fig09_taxation.cpp.o"
+  "CMakeFiles/bench_fig09_taxation.dir/bench/fig09_taxation.cpp.o.d"
+  "fig09_taxation"
+  "fig09_taxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_taxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

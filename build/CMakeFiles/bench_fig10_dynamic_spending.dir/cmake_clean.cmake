@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dynamic_spending.dir/bench/fig10_dynamic_spending.cpp.o"
+  "CMakeFiles/bench_fig10_dynamic_spending.dir/bench/fig10_dynamic_spending.cpp.o.d"
+  "fig10_dynamic_spending"
+  "fig10_dynamic_spending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dynamic_spending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_peer_dynamics.dir/bench/fig11_peer_dynamics.cpp.o"
+  "CMakeFiles/bench_fig11_peer_dynamics.dir/bench/fig11_peer_dynamics.cpp.o.d"
+  "fig11_peer_dynamics"
+  "fig11_peer_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_peer_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_queueing.dir/bench/perf_queueing.cpp.o"
+  "CMakeFiles/bench_perf_queueing.dir/bench/perf_queueing.cpp.o.d"
+  "perf_queueing"
+  "perf_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_simulation.dir/bench/perf_simulation.cpp.o"
+  "CMakeFiles/bench_perf_simulation.dir/bench/perf_simulation.cpp.o.d"
+  "perf_simulation"
+  "perf_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

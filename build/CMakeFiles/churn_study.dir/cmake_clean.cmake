@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_study.dir/examples/churn_study.cpp.o"
+  "CMakeFiles/churn_study.dir/examples/churn_study.cpp.o.d"
+  "churn_study"
+  "churn_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensation_analysis.dir/examples/condensation_analysis.cpp.o"
+  "CMakeFiles/condensation_analysis.dir/examples/condensation_analysis.cpp.o.d"
+  "condensation_analysis"
+  "condensation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "CMakeFiles/creditflow.dir/src/core/analyzer.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/core/analyzer.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "CMakeFiles/creditflow.dir/src/core/mapping.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/core/mapping.cpp.o.d"
+  "/root/repo/src/core/market.cpp" "CMakeFiles/creditflow.dir/src/core/market.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/core/market.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/creditflow.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/core/report.cpp.o.d"
+  "/root/repo/src/econ/gini.cpp" "CMakeFiles/creditflow.dir/src/econ/gini.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/econ/gini.cpp.o.d"
+  "/root/repo/src/econ/lorenz.cpp" "CMakeFiles/creditflow.dir/src/econ/lorenz.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/econ/lorenz.cpp.o.d"
+  "/root/repo/src/econ/pricing.cpp" "CMakeFiles/creditflow.dir/src/econ/pricing.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/econ/pricing.cpp.o.d"
+  "/root/repo/src/econ/taxation.cpp" "CMakeFiles/creditflow.dir/src/econ/taxation.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/econ/taxation.cpp.o.d"
+  "/root/repo/src/econ/wealth.cpp" "CMakeFiles/creditflow.dir/src/econ/wealth.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/econ/wealth.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/creditflow.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/creditflow.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/p2p/chunk.cpp" "CMakeFiles/creditflow.dir/src/p2p/chunk.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/p2p/chunk.cpp.o.d"
+  "/root/repo/src/p2p/ledger.cpp" "CMakeFiles/creditflow.dir/src/p2p/ledger.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/p2p/ledger.cpp.o.d"
+  "/root/repo/src/p2p/overlay.cpp" "CMakeFiles/creditflow.dir/src/p2p/overlay.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/p2p/overlay.cpp.o.d"
+  "/root/repo/src/p2p/protocol.cpp" "CMakeFiles/creditflow.dir/src/p2p/protocol.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/p2p/protocol.cpp.o.d"
+  "/root/repo/src/p2p/spending.cpp" "CMakeFiles/creditflow.dir/src/p2p/spending.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/p2p/spending.cpp.o.d"
+  "/root/repo/src/p2p/trace.cpp" "CMakeFiles/creditflow.dir/src/p2p/trace.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/p2p/trace.cpp.o.d"
+  "/root/repo/src/queueing/approx.cpp" "CMakeFiles/creditflow.dir/src/queueing/approx.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/approx.cpp.o.d"
+  "/root/repo/src/queueing/closed_network.cpp" "CMakeFiles/creditflow.dir/src/queueing/closed_network.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/closed_network.cpp.o.d"
+  "/root/repo/src/queueing/condensation.cpp" "CMakeFiles/creditflow.dir/src/queueing/condensation.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/condensation.cpp.o.d"
+  "/root/repo/src/queueing/ctmc.cpp" "CMakeFiles/creditflow.dir/src/queueing/ctmc.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/ctmc.cpp.o.d"
+  "/root/repo/src/queueing/equilibrium.cpp" "CMakeFiles/creditflow.dir/src/queueing/equilibrium.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/equilibrium.cpp.o.d"
+  "/root/repo/src/queueing/mva.cpp" "CMakeFiles/creditflow.dir/src/queueing/mva.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/mva.cpp.o.d"
+  "/root/repo/src/queueing/open_network.cpp" "CMakeFiles/creditflow.dir/src/queueing/open_network.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/open_network.cpp.o.d"
+  "/root/repo/src/queueing/transfer_matrix.cpp" "CMakeFiles/creditflow.dir/src/queueing/transfer_matrix.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/queueing/transfer_matrix.cpp.o.d"
+  "/root/repo/src/scenario/params.cpp" "CMakeFiles/creditflow.dir/src/scenario/params.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/scenario/params.cpp.o.d"
+  "/root/repo/src/scenario/registry.cpp" "CMakeFiles/creditflow.dir/src/scenario/registry.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/scenario/registry.cpp.o.d"
+  "/root/repo/src/scenario/result.cpp" "CMakeFiles/creditflow.dir/src/scenario/result.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/scenario/result.cpp.o.d"
+  "/root/repo/src/scenario/runner.cpp" "CMakeFiles/creditflow.dir/src/scenario/runner.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/scenario/runner.cpp.o.d"
+  "/root/repo/src/scenario/spec.cpp" "CMakeFiles/creditflow.dir/src/scenario/spec.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/scenario/spec.cpp.o.d"
+  "/root/repo/src/scenario/sweep.cpp" "CMakeFiles/creditflow.dir/src/scenario/sweep.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/scenario/sweep.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/creditflow.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/creditflow.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/creditflow.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/chart.cpp" "CMakeFiles/creditflow.dir/src/util/chart.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/util/chart.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/creditflow.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "CMakeFiles/creditflow.dir/src/util/math.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/creditflow.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/creditflow.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/creditflow.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/creditflow.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

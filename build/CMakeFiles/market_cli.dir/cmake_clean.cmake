@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_cli.dir/examples/market_cli.cpp.o"
+  "CMakeFiles/market_cli.dir/examples/market_cli.cpp.o.d"
+  "market_cli"
+  "market_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_market.dir/examples/streaming_market.cpp.o"
+  "CMakeFiles/streaming_market.dir/examples/streaming_market.cpp.o.d"
+  "streaming_market"
+  "streaming_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxation_policy.dir/examples/taxation_policy.cpp.o"
+  "CMakeFiles/taxation_policy.dir/examples/taxation_policy.cpp.o.d"
+  "taxation_policy"
+  "taxation_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

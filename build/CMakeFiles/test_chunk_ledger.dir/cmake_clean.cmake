@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_ledger.dir/tests/test_chunk_ledger.cpp.o"
+  "CMakeFiles/test_chunk_ledger.dir/tests/test_chunk_ledger.cpp.o.d"
+  "test_chunk_ledger"
+  "test_chunk_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

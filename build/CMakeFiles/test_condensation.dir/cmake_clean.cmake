@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condensation.dir/tests/test_condensation.cpp.o"
+  "CMakeFiles/test_condensation.dir/tests/test_condensation.cpp.o.d"
+  "test_condensation"
+  "test_condensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

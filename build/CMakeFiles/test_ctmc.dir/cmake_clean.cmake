@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctmc.dir/tests/test_ctmc.cpp.o"
+  "CMakeFiles/test_ctmc.dir/tests/test_ctmc.cpp.o.d"
+  "test_ctmc"
+  "test_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

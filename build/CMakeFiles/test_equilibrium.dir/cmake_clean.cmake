@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equilibrium.dir/tests/test_equilibrium.cpp.o"
+  "CMakeFiles/test_equilibrium.dir/tests/test_equilibrium.cpp.o.d"
+  "test_equilibrium"
+  "test_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gini_lorenz.dir/tests/test_gini_lorenz.cpp.o"
+  "CMakeFiles/test_gini_lorenz.dir/tests/test_gini_lorenz.cpp.o.d"
+  "test_gini_lorenz"
+  "test_gini_lorenz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gini_lorenz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_open_network.dir/tests/test_open_network.cpp.o"
+  "CMakeFiles/test_open_network.dir/tests/test_open_network.cpp.o.d"
+  "test_open_network"
+  "test_open_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_open_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

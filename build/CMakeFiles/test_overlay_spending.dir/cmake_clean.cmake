@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_spending.dir/tests/test_overlay_spending.cpp.o"
+  "CMakeFiles/test_overlay_spending.dir/tests/test_overlay_spending.cpp.o.d"
+  "test_overlay_spending"
+  "test_overlay_spending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_spending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing_taxation.dir/tests/test_pricing_taxation.cpp.o"
+  "CMakeFiles/test_pricing_taxation.dir/tests/test_pricing_taxation.cpp.o.d"
+  "test_pricing_taxation"
+  "test_pricing_taxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing_taxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

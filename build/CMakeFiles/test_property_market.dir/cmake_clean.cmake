@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_market.dir/tests/test_property_market.cpp.o"
+  "CMakeFiles/test_property_market.dir/tests/test_property_market.cpp.o.d"
+  "test_property_market"
+  "test_property_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_modes.dir/tests/test_protocol_modes.cpp.o"
+  "CMakeFiles/test_protocol_modes.dir/tests/test_protocol_modes.cpp.o.d"
+  "test_protocol_modes"
+  "test_protocol_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_equilibrium_properties.dir/tests/test_topology_equilibrium_properties.cpp.o"
+  "CMakeFiles/test_topology_equilibrium_properties.dir/tests/test_topology_equilibrium_properties.cpp.o.d"
+  "test_topology_equilibrium_properties"
+  "test_topology_equilibrium_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_equilibrium_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_matrix.dir/tests/test_transfer_matrix.cpp.o"
+  "CMakeFiles/test_transfer_matrix.dir/tests/test_transfer_matrix.cpp.o.d"
+  "test_transfer_matrix"
+  "test_transfer_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
