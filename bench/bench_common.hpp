@@ -10,9 +10,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/market.hpp"
 #include "econ/gini.hpp"
+#include "scenario/runner.hpp"
 #include "util/table.hpp"
 
 namespace creditflow::bench {
@@ -23,6 +25,28 @@ inline double time_scale() {
   if (env == nullptr) return 1.0;
   const double v = std::atof(env);
   return v > 0.0 ? v : 1.0;
+}
+
+/// Abort loudly if a sweep run failed — a failed run carries an empty
+/// report, which would otherwise render as an empty table (or trip a
+/// time-series precondition) with the original error discarded.
+inline void die_if_failed(const scenario::RunResult& run) {
+  if (!run.error.empty()) {
+    std::cerr << "sweep run " << run.run_index
+              << " failed: " << run.error << "\n";
+    std::exit(1);
+  }
+}
+
+inline scenario::RunResult require_ok(scenario::RunResult run) {
+  die_if_failed(run);
+  return run;
+}
+
+inline std::vector<scenario::RunResult> require_ok(
+    std::vector<scenario::RunResult> runs) {
+  for (const auto& run : runs) die_if_failed(run);
+  return runs;
 }
 
 /// Print the table and write the CSV twin if configured.

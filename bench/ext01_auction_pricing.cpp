@@ -4,50 +4,40 @@
 // Under heterogeneous chunk prices (Poisson, mean 1), buyers that solicit
 // asks and buy from the *cheapest* owner (a first-price procurement
 // auction) bypass expensive sellers. The bench compares the wealth
-// condensation of the paper's availability-uniform routing against the
-// auction, in the Fig. 1 condensed configuration.
+// condensation of the paper's availability-uniform routing, the
+// fill-weighted ablation, and the auction, in the Fig. 1 condensed
+// configuration — one scenario sweep over the seller_choice axis of the
+// ext01_auction preset, executed in parallel.
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace creditflow;
-  const double horizon = 8000.0;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::builtin().get("ext01_auction");
+  spec.config.horizon *= bench::time_scale();
+  spec.config.snapshot_interval =
+      std::max(50.0, spec.config.horizon / 40.0);
 
-  auto run_case = [&](p2p::ProtocolConfig::SellerChoice choice) {
-    core::MarketConfig cfg = bench::paper_baseline(400, 200, horizon);
-    cfg.protocol.upload_capacity = 8.0;
-    cfg.protocol.pricing.kind = econ::PricingKind::kPoisson;
-    cfg.protocol.pricing.poisson_mean = 1.0;
-    cfg.protocol.reserve_credits = 0.0;
-    cfg.protocol.deficit_seeding = false;
-    cfg.protocol.seller_choice = choice;
-    core::CreditMarket market(cfg);
-    return market.run();
-  };
-
-  const auto uniform =
-      run_case(p2p::ProtocolConfig::SellerChoice::kAvailabilityUniform);
-  const auto fill =
-      run_case(p2p::ProtocolConfig::SellerChoice::kFillWeighted);
-  const auto auction =
-      run_case(p2p::ProtocolConfig::SellerChoice::kCheapestAsk);
+  scenario::SweepSpec sweep;
+  sweep.axes.push_back(scenario::SweepAxis::parse("seller_choice=0,1,2"));
+  const auto results =
+      bench::require_ok(scenario::SweepRunner(spec, sweep).run());
 
   util::ConsoleTable table(
       "ext01 — seller-choice mechanisms under Poisson pricing (c=200)");
   table.set_header({"mechanism", "converged_gini", "bankrupt_fraction",
                     "mean_price_paid", "transactions"});
-  auto add = [&](const char* name, const core::MarketReport& r) {
-    const double mean_price =
-        r.transactions > 0
-            ? static_cast<double>(r.volume) /
-                  static_cast<double>(r.transactions)
-            : 0.0;
-    table.add_row({std::string(name), r.converged_gini(),
-                   r.final_wealth.bankrupt_fraction, mean_price,
-                   static_cast<std::int64_t>(r.transactions)});
-  };
-  add("availability_uniform", uniform);
-  add("fill_weighted", fill);
-  add("cheapest_ask_auction", auction);
+  const char* labels[] = {"availability_uniform", "fill_weighted",
+                          "cheapest_ask_auction"};
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& r = results[k];
+    const double tx = r.metric("transactions");
+    const double mean_price = tx > 0.0 ? r.metric("volume") / tx : 0.0;
+    table.add_row({std::string(labels[k]), r.metric("converged_gini"),
+                   r.metric("bankrupt_fraction"), mean_price,
+                   static_cast<std::int64_t>(tx)});
+  }
   bench::emit(table, "ext01_auction_pricing");
 
   return 0;

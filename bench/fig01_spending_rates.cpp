@@ -24,7 +24,10 @@ int main() {
     scenario::ScenarioSpec spec =
         scenario::ScenarioRegistry::builtin().get(name);
     spec.config.horizon *= bench::time_scale();
-    const auto result = scenario::run_scenario(spec);
+    // Keep the snapshot cadence inside the (possibly scaled-down) horizon.
+    spec.config.snapshot_interval =
+        std::min(spec.config.snapshot_interval, spec.config.horizon / 4.0);
+    const auto result = bench::require_ok(scenario::run_scenario(spec));
     return econ::sorted_ascending(result.report.final_windowed_spend_rates);
   };
 

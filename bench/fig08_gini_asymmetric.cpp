@@ -1,57 +1,60 @@
 // Figure 8 of the paper: evolution of the Gini index under *asymmetric*
-// utilization (heterogeneous upload capacity — income ceilings differ), for
+// utilization (heterogeneous spending rates — utilizations u_i differ), for
 // c ∈ {50, 100, 200}.
 //
 // Paper's observations: the stable state is still reached, and larger c
 // gives a larger stabilized Gini; asymmetric runs stabilize higher than
 // the symmetric runs of Fig. 7.
+//
+// The three markets come from the scenario engine: one registry preset
+// (fig08_asymmetric) swept over the endowment axis, executed in parallel.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 #include "util/chart.hpp"
 
 int main() {
   using namespace creditflow;
-  const std::uint64_t cs[] = {50, 100, 200};
-  const double horizon = 20000.0;
-  const std::size_t peers = 500;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::builtin().get("fig08_asymmetric");
+  spec.config.horizon *= bench::time_scale();
+  spec.config.snapshot_interval = spec.config.horizon / 40.0;
 
-  std::vector<core::MarketReport> reports;
-  for (const auto c : cs) {
-    core::MarketConfig cfg = bench::paper_asymmetric(peers, c, horizon);
-    cfg.snapshot_interval = cfg.horizon / 40.0;
-    core::CreditMarket market(cfg);
-    reports.push_back(market.run());
-  }
+  scenario::SweepSpec sweep;
+  sweep.axes.push_back(scenario::SweepAxis::parse("credits=50,100,200"));
+  scenario::SweepRunner runner(spec, sweep);
+  const auto results = bench::require_ok(runner.run());
 
   util::ConsoleTable table(
       "Fig. 8 — Gini of balances over time, asymmetric utilization "
-      "(upload capacity CV 0.8)");
+      "(spend rate CV 0.3)");
   table.set_header({"time_s", "c=50", "c=100", "c=200"});
-  const auto& t0 = reports[0].gini_balances;
+  const auto& t0 = results[0].report.gini_balances;
   for (std::size_t i = 0; i < t0.size(); i += 2) {
-    table.add_row({t0.time_at(i), reports[0].gini_balances.value_at(i),
-                   reports[1].gini_balances.value_at(i),
-                   reports[2].gini_balances.value_at(i)});
+    table.add_row({t0.time_at(i),
+                   results[0].report.gini_balances.value_at(i),
+                   results[1].report.gini_balances.value_at(i),
+                   results[2].report.gini_balances.value_at(i)});
   }
   bench::emit(table, "fig08_gini_asymmetric");
 
   util::ChartOptions chart_opts;
   chart_opts.title = "Fig. 8 — Gini(t), asymmetric utilization";
-  std::cout << util::render_chart({{"c=50", &reports[0].gini_balances},
-                                   {"c=100", &reports[1].gini_balances},
-                                   {"c=200", &reports[2].gini_balances}},
-                                  chart_opts)
+  std::cout << util::render_chart(
+                   {{"c=50", &results[0].report.gini_balances},
+                    {"c=100", &results[1].report.gini_balances},
+                    {"c=200", &results[2].report.gini_balances}},
+                   chart_opts)
             << "\n";
 
   util::ConsoleTable conv("Fig. 8 — converged Gini and bankruptcies per c");
   conv.set_header({"c", "converged_gini", "bankrupt_fraction",
                    "top10_share"});
-  for (std::size_t k = 0; k < reports.size(); ++k) {
-    conv.add_row({static_cast<std::int64_t>(cs[k]),
-                  reports[k].converged_gini(),
-                  reports[k].final_wealth.bankrupt_fraction,
-                  reports[k].final_wealth.top10_share});
+  for (const auto& r : results) {
+    conv.add_row({static_cast<std::int64_t>(r.params[0].second),
+                  r.metric("converged_gini"), r.metric("bankrupt_fraction"),
+                  r.report.final_wealth.top10_share});
   }
   bench::emit(conv, "fig08_converged");
   return 0;

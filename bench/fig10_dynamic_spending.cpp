@@ -3,63 +3,71 @@
 // m, rich peers spend proportionally faster, draining accumulations: the
 // stabilized Gini is lower than with fixed rates.
 //
-// An ablation sweeps the adjustment threshold m beyond the paper's single
-// setting.
+// Everything comes from the scenario engine: the fig10_dynamic_spending
+// preset, its fixed-rate control, and a parallel ablation sweep of the
+// adjustment threshold m beyond the paper's single setting.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 #include "util/chart.hpp"
 
 int main() {
   using namespace creditflow;
-  const double horizon = 15000.0;
-  const std::size_t peers = 400;
-  const std::uint64_t c = 100;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::builtin().get("fig10_dynamic_spending");
+  spec.config.horizon *= bench::time_scale();
+  spec.config.snapshot_interval = spec.config.horizon / 30.0;
 
-  auto run = [&](bool dynamic, double m, double hours) {
-    core::MarketConfig cfg = bench::paper_asymmetric(peers, c, hours);
-    cfg.snapshot_interval = cfg.horizon / 30.0;
-    cfg.protocol.spending.dynamic = dynamic;
-    cfg.protocol.spending.dynamic_threshold = m;
-    core::CreditMarket market(cfg);
-    return market.run();
-  };
-
-  const auto fixed = run(false, 0.0, horizon);
-  const auto dynamic = run(true, static_cast<double>(c), horizon);
+  // The fixed-rate control and the paper's m = c dynamic market.
+  scenario::ScenarioSpec fixed_spec = spec;
+  fixed_spec.config.protocol.spending.dynamic = false;
+  const auto fixed = bench::require_ok(scenario::run_scenario(fixed_spec));
+  const auto dynamic = bench::require_ok(scenario::run_scenario(spec));
 
   util::ConsoleTable table(
       "Fig. 10 — Gini over time: fixed vs dynamic spending rate "
       "(asymmetric, c=100, m=c)");
   table.set_header({"time_s", "without_adjustment", "with_adjustment"});
-  for (std::size_t i = 0; i < fixed.gini_balances.size(); i += 2) {
-    table.add_row({fixed.gini_balances.time_at(i),
-                   fixed.gini_balances.value_at(i),
-                   dynamic.gini_balances.value_at(i)});
+  const auto& t0 = fixed.report.gini_balances;
+  for (std::size_t i = 0; i < t0.size(); i += 2) {
+    table.add_row({t0.time_at(i), fixed.report.gini_balances.value_at(i),
+                   dynamic.report.gini_balances.value_at(i)});
   }
   bench::emit(table, "fig10_dynamic_spending");
 
   util::ChartOptions chart_opts;
   chart_opts.title = "Fig. 10 — Gini(t): fixed vs dynamic spending";
-  std::cout << util::render_chart({{"fixed", &fixed.gini_balances},
-                                   {"dynamic", &dynamic.gini_balances}},
-                                  chart_opts)
+  std::cout << util::render_chart(
+                   {{"fixed", &fixed.report.gini_balances},
+                    {"dynamic", &dynamic.report.gini_balances}},
+                   chart_opts)
             << "\n";
 
   util::ConsoleTable conv("Fig. 10 — converged Gini");
   conv.set_header({"policy", "converged_gini", "bankrupt_fraction"});
-  conv.add_row({std::string("fixed"), fixed.converged_gini(),
-                fixed.final_wealth.bankrupt_fraction});
-  conv.add_row({std::string("dynamic m=100"), dynamic.converged_gini(),
-                dynamic.final_wealth.bankrupt_fraction});
+  conv.add_row({std::string("fixed"), fixed.metric("converged_gini"),
+                fixed.metric("bankrupt_fraction")});
+  conv.add_row({std::string("dynamic m=100"),
+                dynamic.metric("converged_gini"),
+                dynamic.metric("bankrupt_fraction")});
   bench::emit(conv, "fig10_converged");
 
-  util::ConsoleTable sweep(
+  // Ablation beyond the paper: sweep the adjustment threshold m in
+  // parallel at half horizon.
+  scenario::ScenarioSpec ablation = spec;
+  ablation.config.horizon /= 2.0;
+  ablation.config.snapshot_interval = ablation.config.horizon / 20.0;
+  scenario::SweepSpec m_sweep;
+  m_sweep.axes.push_back(
+      scenario::SweepAxis::parse("spending.threshold=25,50,100,200,400"));
+  scenario::SweepRunner runner(ablation, m_sweep);
+  util::ConsoleTable sweep_table(
       "Fig. 10 ablation — adjustment threshold m sweep");
-  sweep.set_header({"m", "converged_gini"});
-  for (const double m : {25.0, 50.0, 100.0, 200.0, 400.0}) {
-    sweep.add_row({m, run(true, m, horizon / 2.0).converged_gini()});
+  sweep_table.set_header({"m", "converged_gini"});
+  for (const auto& r : bench::require_ok(runner.run())) {
+    sweep_table.add_row({r.params[0].second, r.metric("converged_gini")});
   }
-  bench::emit(sweep, "fig10_threshold_sweep");
+  bench::emit(sweep_table, "fig10_threshold_sweep");
   return 0;
 }

@@ -1,104 +1,105 @@
 // Figure 11 of the paper: impact of peer dynamics (churn) on the skewness
 // of the credit distribution — the open-network market of Sec. VI-E.
 // Arriving peers mint c fresh credits; departing peers take their balance
-// away. Three sweeps (populations scaled to half the paper's 1000 to keep
+// away. Three readouts (populations scaled to half the paper's 1000 to keep
 // the bench quick; shapes are unaffected):
 //   (1) fixed expected overlay size:   arrival_rate × lifespan = 500,
 //       compared against the static overlay;
 //   (2) fixed mean lifespan (250 s):   arrival rate ∈ {1, 2, 4} peers/s;
 //   (3) fixed arrival rate (1 peer/s): lifespan ∈ {250, 500, 1000} s.
 //
+// All churn markets come from the fig11_churn scenario preset: one sweep
+// over the arrival-rate axis at fixed lifespan, one over the lifespan axis
+// at fixed arrival rate, each executed in parallel by the SweepRunner.
+//
 // Paper's observations: churn keeps the Gini below the static overlay
 // (peers leave before accumulating much); arrival rate has little effect at
 // fixed lifespan; longer lifespans raise the Gini (rich peers get richer
 // the longer they stay).
 #include "bench_common.hpp"
+#include "scenario/scenario.hpp"
 
 int main() {
   using namespace creditflow;
-  const double horizon = 8000.0;
-  const std::uint64_t c = 100;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioRegistry::builtin().get("fig11_churn");
+  spec.config.horizon *= bench::time_scale();
+  spec.config.snapshot_interval = spec.config.horizon / 20.0;
 
-  auto run_churn = [&](double arrival, double lifespan) {
-    const auto expected_size =
-        static_cast<std::size_t>(arrival * lifespan);
-    core::MarketConfig cfg = bench::paper_asymmetric(
-        std::max<std::size_t>(100, expected_size), c, horizon);
-    cfg.protocol.max_peers =
-        cfg.protocol.initial_peers + expected_size / 2 + 256;
-    cfg.snapshot_interval = cfg.horizon / 20.0;
-    cfg.protocol.churn.enabled = true;
-    cfg.protocol.churn.arrival_rate = arrival;
-    cfg.protocol.churn.mean_lifespan = lifespan;
-    core::CreditMarket market(cfg);
-    return market.run();
-  };
+  // The static-overlay control.
+  scenario::ScenarioSpec static_spec = spec;
+  static_spec.config.protocol.churn.enabled = false;
+  const auto static_run = bench::require_ok(scenario::run_scenario(static_spec));
 
-  // (1) Fixed overlay size 500 + static baseline.
-  const auto static_run = [&] {
-    core::MarketConfig cfg = bench::paper_asymmetric(500, c, horizon);
-    cfg.snapshot_interval = cfg.horizon / 20.0;
-    core::CreditMarket market(cfg);
-    return market.run();
-  }();
-  const auto churn_a = run_churn(1.0, 500.0);
-  const auto churn_b = run_churn(2.0, 250.0);
+  // (2) Fixed lifespan 250 s, arrival-rate sweep {1, 2, 4}.
+  scenario::ScenarioSpec fixed_life = spec;
+  fixed_life.config.protocol.churn.mean_lifespan = 250.0;
+  scenario::SweepSpec rate_sweep;
+  rate_sweep.axes.push_back(
+      scenario::SweepAxis::parse("churn.arrival_rate=1,2,4"));
+  const auto by_rate =
+      bench::require_ok(scenario::SweepRunner(fixed_life, rate_sweep).run());
+  const auto& r1 = by_rate[0];
+  const auto& r2 = by_rate[1];
+  const auto& r4 = by_rate[2];
 
+  // (3) Fixed arrival rate 1 peer/s, lifespan sweep — the 250 s point is
+  // r1 from sweep (2) (identical config), so only 500 and 1000 run here.
+  scenario::SweepSpec life_sweep;
+  life_sweep.axes.push_back(
+      scenario::SweepAxis::parse("churn.mean_lifespan=500,1000"));
+  const auto by_life =
+      bench::require_ok(scenario::SweepRunner(spec, life_sweep).run());
+  const auto& l500 = by_life[0];
+  const auto& l1000 = by_life[1];
+
+  // (1) Fixed expected size 500: (rate 1, life 500) and (rate 2, life 250)
+  // against the static overlay.
   util::ConsoleTable t1(
       "Fig. 11(1) — Gini over time, fixed expected size 500");
   t1.set_header({"time_s", "life500_rate1", "life250_rate2", "static"});
-  for (std::size_t i = 0; i < static_run.gini_balances.size(); ++i) {
-    t1.add_row({static_run.gini_balances.time_at(i),
-                churn_a.gini_balances.value_at(i),
-                churn_b.gini_balances.value_at(i),
-                static_run.gini_balances.value_at(i)});
+  const auto& g_static = static_run.report.gini_balances;
+  for (std::size_t i = 0; i < g_static.size(); ++i) {
+    t1.add_row({g_static.time_at(i),
+                l500.report.gini_balances.value_at(i),
+                r2.report.gini_balances.value_at(i),
+                g_static.value_at(i)});
   }
   bench::emit(t1, "fig11_fixed_size");
 
-  // (2) Fixed lifespan 250 s, arrival rate sweep.
-  const auto r1 = run_churn(1.0, 250.0);
-  const auto r2 = run_churn(2.0, 250.0);
-  const auto r4 = run_churn(4.0, 250.0);
   util::ConsoleTable t2(
       "Fig. 11(2) — Gini over time, fixed mean lifespan 250 s");
   t2.set_header({"time_s", "rate1", "rate2", "rate4"});
-  for (std::size_t i = 0; i < r1.gini_balances.size(); ++i) {
-    t2.add_row({r1.gini_balances.time_at(i), r1.gini_balances.value_at(i),
-                r2.gini_balances.value_at(i),
-                r4.gini_balances.value_at(i)});
+  for (std::size_t i = 0; i < r1.report.gini_balances.size(); ++i) {
+    t2.add_row({r1.report.gini_balances.time_at(i),
+                r1.report.gini_balances.value_at(i),
+                r2.report.gini_balances.value_at(i),
+                r4.report.gini_balances.value_at(i)});
   }
   bench::emit(t2, "fig11_fixed_lifespan");
 
-  // (3) Fixed arrival rate 1 peer/s, lifespan sweep.
-  const auto l250 = run_churn(1.0, 250.0);
-  const auto l500 = run_churn(1.0, 500.0);
-  const auto l1000 = run_churn(1.0, 1000.0);
   util::ConsoleTable t3(
       "Fig. 11(3) — Gini over time, fixed arrival rate 1 peer/s");
   t3.set_header({"time_s", "life250", "life500", "life1000"});
-  for (std::size_t i = 0; i < l250.gini_balances.size(); ++i) {
-    t3.add_row({l250.gini_balances.time_at(i),
-                l250.gini_balances.value_at(i),
-                l500.gini_balances.value_at(i),
-                l1000.gini_balances.value_at(i)});
+  const auto& l250 = r1;
+  for (std::size_t i = 0; i < l250.report.gini_balances.size(); ++i) {
+    t3.add_row({l250.report.gini_balances.time_at(i),
+                l250.report.gini_balances.value_at(i),
+                l500.report.gini_balances.value_at(i),
+                l1000.report.gini_balances.value_at(i)});
   }
   bench::emit(t3, "fig11_fixed_arrival");
 
   util::ConsoleTable conv("Fig. 11 — converged Gini summary");
   conv.set_header({"config", "converged_gini", "arrivals", "departures"});
-  const struct {
-    const char* name;
-    const core::MarketReport* r;
-  } rows[] = {{"static_500", &static_run},
-              {"life500_rate1", &churn_a},
-              {"life250_rate2", &churn_b},
-              {"life250_rate1", &r1},
-              {"life250_rate4", &r4},
-              {"life1000_rate1", &l1000}};
-  for (const auto& row : rows) {
-    conv.add_row({std::string(row.name), row.r->converged_gini(),
-                  static_cast<std::int64_t>(row.r->churn_arrivals),
-                  static_cast<std::int64_t>(row.r->churn_departures)});
+  const std::pair<const char*, const scenario::RunResult*> rows[] = {
+      {"static_500", &static_run}, {"life500_rate1", &l500},
+      {"life250_rate2", &r2},      {"life250_rate1", &r1},
+      {"life250_rate4", &r4},      {"life1000_rate1", &l1000}};
+  for (const auto& [name, r] : rows) {
+    conv.add_row({std::string(name), r->metric("converged_gini"),
+                  static_cast<std::int64_t>(r->metric("churn_arrivals")),
+                  static_cast<std::int64_t>(r->metric("churn_departures"))});
   }
   bench::emit(conv, "fig11_converged");
   return 0;

@@ -101,6 +101,79 @@ void BM_ProtocolRound(benchmark::State& state) {
 }
 BENCHMARK(BM_ProtocolRound)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+// Shared scaffolding for the purchase-phase comparisons: warm the market,
+// run one simulated round per benchmark iteration, and report the
+// purchase-phase wall time per round — the hot-path readout the
+// owner-index speedup is judged on (rounds == benchmark iterations here).
+void run_purchase_phase_benchmark(benchmark::State& state,
+                                  p2p::ProtocolConfig cfg) {
+  cfg.overlay_mean_degree = static_cast<double>(state.range(0));
+  cfg.use_owner_index = state.range(1) != 0;
+  sim::Simulator simulator;
+  p2p::StreamingProtocol proto(cfg, simulator);
+  proto.start();
+  simulator.run_until(50.0);  // warm the market
+  const double phase_before = proto.purchase_phase_seconds();
+  double t = 50.0;
+  for (auto _ : state) {
+    t += 1.0;
+    simulator.run_until(t);
+  }
+  state.counters["tx"] = static_cast<double>(
+      proto.metrics().counter("market.transactions"));
+  state.counters["phase_us_per_round"] =
+      (proto.purchase_phase_seconds() - phase_before) * 1e6 /
+      static_cast<double>(state.iterations());
+}
+
+// The purchase-phase hot path: owner-index fast path vs the naive
+// O(window × degree) neighbor rescan, across overlay degree. Both runs are
+// bit-identical markets (same seed, same trades) — only the candidate
+// resolution differs — so the time delta is purely the seller-scan cost.
+void BM_PurchasePhase(benchmark::State& state) {
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 500;
+  cfg.max_peers = 500;
+  cfg.initial_credits = 100;
+  cfg.seed = 7;
+  run_purchase_phase_benchmark(state, cfg);
+}
+BENCHMARK(BM_PurchasePhase)
+    ->ArgNames({"degree", "index"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The same comparison in a supply-limited market (upload capacity below the
+// stream rate, the paper's saturated Sec. V-C regime, with a long playback
+// window): buyers carry long shopping lists and most scans find no seller
+// with budget left, which is exactly where the naive O(window × degree)
+// rescan blows up.
+void BM_PurchasePhaseBacklogged(benchmark::State& state) {
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 500;
+  cfg.max_peers = 500;
+  cfg.initial_credits = 100;
+  cfg.seed = 8;
+  cfg.stream_rate = 2.4;
+  cfg.upload_capacity = 2.0;  // < stream_rate: chronically supply-limited
+  cfg.window_chunks = 96;
+  cfg.max_purchase_attempts = 96;
+  cfg.base_spend_rate = 7.2;
+  run_purchase_phase_benchmark(state, cfg);
+}
+BENCHMARK(BM_PurchasePhaseBacklogged)
+    ->ArgNames({"degree", "index"})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ProtocolRoundWithChurn(benchmark::State& state) {
   sim::Simulator simulator;
   p2p::ProtocolConfig cfg;

@@ -1,31 +1,35 @@
 #include "p2p/chunk.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/assert.hpp"
 
 namespace creditflow::p2p {
 
-BufferMap::BufferMap(std::size_t capacity) : have_(capacity, false) {
+BufferMap::BufferMap(std::size_t capacity)
+    : have_((capacity + 63) / 64, 0), capacity_(capacity) {
   CF_EXPECTS(capacity > 0);
 }
 
 double BufferMap::fill() const {
-  return static_cast<double>(count_) / static_cast<double>(have_.size());
+  return static_cast<double>(count_) / static_cast<double>(capacity_);
 }
 
 bool BufferMap::in_window(ChunkId c) const {
-  return c >= base_ && c < base_ + have_.size();
+  return c >= base_ && c < base_ + capacity_;
 }
 
 bool BufferMap::has(ChunkId c) const {
   if (!in_window(c)) return false;
-  return have_[slot(c)];
+  return bit(slot(c));
 }
 
 bool BufferMap::set(ChunkId c) {
   if (!in_window(c)) return false;
   const std::size_t s = slot(c);
-  if (have_[s]) return false;
-  have_[s] = true;
+  if (bit(s)) return false;
+  have_[s / 64] |= std::uint64_t{1} << (s % 64);
   ++count_;
   return true;
 }
@@ -33,47 +37,71 @@ bool BufferMap::set(ChunkId c) {
 std::size_t BufferMap::advance(ChunkId new_base) {
   CF_EXPECTS_MSG(new_base >= base_, "window cannot move backwards");
   std::size_t evicted = 0;
-  const ChunkId old_end = base_ + have_.size();
   // Evict slots that leave the window; if the jump exceeds the capacity the
   // whole buffer is cleared.
-  if (new_base >= old_end) {
-    for (std::size_t s = 0; s < have_.size(); ++s) {
-      if (have_[s]) {
-        have_[s] = false;
-        ++evicted;
-      }
-    }
+  if (new_base >= base_ + capacity_) {
+    evicted = count_;
+    std::fill(have_.begin(), have_.end(), std::uint64_t{0});
     count_ = 0;
   } else {
+    std::size_t s = slot(base_);
     for (ChunkId c = base_; c < new_base; ++c) {
-      const std::size_t s = slot(c);
-      if (have_[s]) {
-        have_[s] = false;
+      if (bit(s)) {
+        clear_bit(s);
         --count_;
         ++evicted;
       }
+      if (++s == capacity_) s = 0;
     }
   }
   base_ = new_base;
   return evicted;
 }
 
-std::vector<ChunkId> BufferMap::missing(std::size_t max_results) const {
-  std::vector<ChunkId> out;
-  const std::size_t cap =
-      max_results == 0 ? have_.size() : max_results;
-  out.reserve(std::min(cap, have_.size() - count_));
-  for (ChunkId c = base_; c < base_ + have_.size(); ++c) {
-    if (!have_[slot(c)]) {
-      out.push_back(c);
-      if (out.size() >= cap) break;
+bool BufferMap::missing_in_slot_range(std::size_t s_lo, std::size_t s_hi,
+                                      ChunkId chunk_at_lo,
+                                      std::vector<ChunkId>& out,
+                                      std::size_t cap) const {
+  for (std::size_t w = s_lo / 64; w * 64 < s_hi; ++w) {
+    std::uint64_t gaps = ~have_[w];
+    // Mask bits outside [s_lo, s_hi) within this word.
+    if (w * 64 < s_lo) gaps &= ~std::uint64_t{0} << (s_lo % 64);
+    if (s_hi < (w + 1) * 64) gaps &= ~(~std::uint64_t{0} << (s_hi % 64));
+    while (gaps != 0) {
+      const std::size_t s =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(gaps));
+      gaps &= gaps - 1;
+      out.push_back(chunk_at_lo + (s - s_lo));
+      if (out.size() >= cap) return false;
     }
   }
+  return true;
+}
+
+std::vector<ChunkId> BufferMap::missing(std::size_t max_results) const {
+  std::vector<ChunkId> out;
+  out.reserve(std::min(max_results == 0 ? capacity_ : max_results,
+                       capacity_ - count_));
+  missing_into(out, max_results);
   return out;
 }
 
+void BufferMap::missing_into(std::vector<ChunkId>& out,
+                             std::size_t max_results) const {
+  out.clear();
+  const std::size_t cap = max_results == 0 ? capacity_ : max_results;
+  // The ring holds exactly the current window, starting at slot(base_):
+  // walk [slot(base_), capacity) then the wrapped [0, slot(base_)) range,
+  // which visits chunks in ascending id order.
+  const std::size_t s0 = slot(base_);
+  if (!missing_in_slot_range(s0, capacity_, base_, out, cap)) return;
+  if (s0 > 0) {
+    missing_in_slot_range(0, s0, base_ + (capacity_ - s0), out, cap);
+  }
+}
+
 void BufferMap::reset(ChunkId new_base) {
-  std::fill(have_.begin(), have_.end(), false);
+  std::fill(have_.begin(), have_.end(), std::uint64_t{0});
   base_ = new_base;
   count_ = 0;
 }

@@ -13,17 +13,19 @@ namespace creditflow::p2p {
 
 using ChunkId = std::uint64_t;
 
-/// Sliding-window chunk availability bitmap.
+/// Sliding-window chunk availability bitmap (64-bit words under the hood,
+/// so missing-chunk extraction and eviction are bit-walks, not per-slot
+/// branches).
 class BufferMap {
  public:
   /// Window of `capacity` consecutive chunk slots starting at chunk 0.
   explicit BufferMap(std::size_t capacity);
 
-  [[nodiscard]] std::size_t capacity() const { return have_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// First chunk id inside the window.
   [[nodiscard]] ChunkId base() const { return base_; }
   /// One-past-last chunk id inside the window.
-  [[nodiscard]] ChunkId end() const { return base_ + have_.size(); }
+  [[nodiscard]] ChunkId end() const { return base_ + capacity_; }
   /// Number of chunks currently held.
   [[nodiscard]] std::size_t count() const { return count_; }
   /// Fill ratio in [0,1].
@@ -44,15 +46,33 @@ class BufferMap {
   /// first for playback), capped at `max_results` (0 = no cap).
   [[nodiscard]] std::vector<ChunkId> missing(std::size_t max_results = 0) const;
 
+  /// missing() into a caller-owned vector (cleared first) — the
+  /// allocation-free flavor for per-round hot loops.
+  void missing_into(std::vector<ChunkId>& out, std::size_t max_results = 0) const;
+
   /// Reset to an empty window at the given base.
   void reset(ChunkId new_base);
 
  private:
   [[nodiscard]] std::size_t slot(ChunkId c) const {
-    return static_cast<std::size_t>(c % have_.size());
+    return static_cast<std::size_t>(c % capacity_);
   }
+  [[nodiscard]] bool bit(std::size_t s) const {
+    return (have_[s / 64] >> (s % 64)) & 1;
+  }
+  void clear_bit(std::size_t s) {
+    have_[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+  }
+  /// Append the chunks whose slots in [s_lo, s_hi) are unset, as
+  /// `chunk_at_lo + (s - s_lo)`, until `cap` results; returns false when
+  /// the cap was hit.
+  bool missing_in_slot_range(std::size_t s_lo, std::size_t s_hi,
+                             ChunkId chunk_at_lo,
+                             std::vector<ChunkId>& out,
+                             std::size_t cap) const;
 
-  std::vector<bool> have_;
+  std::vector<std::uint64_t> have_;  ///< ceil(capacity_/64) words
+  std::size_t capacity_;
   ChunkId base_ = 0;
   std::size_t count_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "p2p/protocol.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -10,6 +12,27 @@
 
 namespace creditflow::p2p {
 
+namespace {
+
+/// Index of the `n`-th (0-based) set bit across `words`; requires that many
+/// set bits to exist.
+std::size_t nth_set_bit(const std::uint64_t* words, std::size_t num_words,
+                        std::size_t n) {
+  for (std::size_t w = 0; w < num_words; ++w) {
+    const auto c = static_cast<std::size_t>(std::popcount(words[w]));
+    if (n < c) {
+      std::uint64_t m = words[w];
+      for (; n > 0; --n) m &= m - 1;
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+    }
+    n -= c;
+  }
+  CF_ENSURES_MSG(false, "nth_set_bit: fewer set bits than requested");
+  return 0;  // unreachable
+}
+
+}  // namespace
+
 StreamingProtocol::StreamingProtocol(ProtocolConfig config,
                                      sim::Simulator& simulator)
     : cfg_(std::move(config)),
@@ -17,6 +40,7 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
       rng_(cfg_.seed),
       ledger_(cfg_.max_peers),
       overlay_(cfg_.max_peers),
+      owner_index_(cfg_.max_peers, std::max<std::size_t>(cfg_.window_chunks, 1)),
       peers_(cfg_.max_peers),
       pricing_(econ::make_pricing(cfg_.pricing)),
       spending_(make_spending_policy(cfg_.spending)),
@@ -30,6 +54,7 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   CF_EXPECTS(cfg_.upload_capacity > 0.0);
   CF_EXPECTS(cfg_.base_spend_rate > 0.0);
   CF_EXPECTS(cfg_.max_purchase_attempts >= 1);
+  CF_EXPECTS(cfg_.overlay_mean_degree > 0.0);
   if (cfg_.churn.enabled) {
     CF_EXPECTS(cfg_.churn.arrival_rate > 0.0);
     CF_EXPECTS(cfg_.churn.mean_lifespan > 0.0);
@@ -43,6 +68,10 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
     CF_EXPECTS(cfg_.injection.credits_per_peer > 0);
   }
   upload_budget_.assign(cfg_.max_peers, 0.0);
+  tx_count_ = metrics_.counter_cell("market.transactions");
+  tx_volume_ = metrics_.counter_cell("market.volume");
+  liquidity_failures_ = metrics_.counter_cell("market.liquidity_failures");
+  tax_collected_ = metrics_.counter_cell("tax.collected");
   for (PeerId id = 0; id < cfg_.max_peers; ++id) {
     peers_[id].id = id;
     peers_[id].buffer = BufferMap(cfg_.window_chunks);
@@ -108,11 +137,15 @@ void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
       static_cast<ChunkId>(now * cfg_.stream_rate) + cfg_.window_chunks;
   const ChunkId base = head - cfg_.window_chunks;
   p.buffer.reset(base);
+  owner_index_.on_clear(id);
   // Warm start: join holding most of the current window, as a peer that has
   // been streaming for a while (or bootstrapped quickly) would.
   if (cfg_.warm_start_fill > 0.0) {
     for (ChunkId c = base; c < head; ++c) {
-      if (rng_.bernoulli(cfg_.warm_start_fill)) p.buffer.set(c);
+      if (rng_.bernoulli(cfg_.warm_start_fill)) {
+        p.buffer.set(c);
+        owner_index_.on_gain(id, c);
+      }
     }
   }
   ledger_.mint(id, cfg_.initial_credits);
@@ -123,10 +156,11 @@ void StreamingProtocol::start() {
   CF_EXPECTS_MSG(!started_, "protocol already started");
   started_ = true;
 
-  // Static bootstrap overlay: scale-free with the paper's parameters.
+  // Static bootstrap overlay: scale-free with the paper's exponent; the
+  // mean degree is configurable (the paper's default is 20).
   graph::ScaleFreeParams sf;
   sf.exponent = 2.5;
-  sf.target_mean_degree = 20.0;
+  sf.target_mean_degree = cfg_.overlay_mean_degree;
   auto bootstrap = graph::scale_free(cfg_.initial_peers, sf, rng_);
   overlay_.init_from_graph(bootstrap);
   for (PeerId id = 0; id < cfg_.initial_peers; ++id) {
@@ -211,6 +245,7 @@ void StreamingProtocol::handle_departure(PeerId id, double now) {
   metrics_.increment("churn.credits_taken", taken);
   tax_.forget_peer(id);
   overlay_.leave(id);
+  owner_index_.on_clear(id);
   peers_[id].alive = false;
 }
 
@@ -243,6 +278,7 @@ void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
         }
       }
       if (peers_[target].buffer.set(c)) {
+        owner_index_.on_gain(target, c);
         ++peers_[target].chunks_seeded;
       }
     }
@@ -258,7 +294,9 @@ void StreamingProtocol::run_round(double now) {
   // 1. Advance playback windows and refresh upload budgets.
   round_order_ = overlay_.active_peers();
   for (PeerId id : round_order_) {
+    const ChunkId old_base = peers_[id].buffer.base();
     peers_[id].buffer.advance(window_base);
+    owner_index_.on_advance(id, old_base, window_base);
     upload_budget_[id] = peers_[id].upload_capacity * cfg_.round_seconds;
   }
 
@@ -267,9 +305,14 @@ void StreamingProtocol::run_round(double now) {
 
   // 3. Purchase phase in random peer order (fairness).
   rng_.shuffle(round_order_);
+  const auto phase_start = std::chrono::steady_clock::now();
   for (PeerId id : round_order_) {
     peer_purchase_phase(id, now);
   }
+  purchase_phase_seconds_ += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 phase_start)
+                                 .count();
 
   // 4. Taxation redistribution when the treasury is full enough.
   if (cfg_.tax.enabled && overlay_.num_active() > 0) {
@@ -289,7 +332,8 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
       buyer.base_spend_rate, ledger_.balance(buyer_id), cfg_.round_seconds);
   if (budget <= 0.0) return;
 
-  auto missing = buyer.buffer.missing();
+  buyer.buffer.missing_into(missing_scratch_);
+  auto& missing = missing_scratch_;
   if (missing.empty()) return;
   const auto neighbors = overlay_.neighbors(buyer_id);
   if (neighbors.empty()) return;
@@ -315,48 +359,122 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
     purchase_cap = std::max<std::size_t>(1, keep_pace);
   }
 
+  // Resolve each wanted chunk's sellers up front through the owner index
+  // (word-wide AND walks over the neighbors' ownership bitmaps) instead of
+  // rescanning every neighbor per chunk. Sound within one buyer phase:
+  // sellers' ownership and aliveness cannot change until the phase ends
+  // (only this buyer gains chunks, and churn events never interleave with a
+  // round), and upload budgets only *decrease*, which the re-check in the
+  // loop below mirrors exactly.
+  if (cfg_.use_owner_index) {
+    build_purchase_candidates(neighbors, missing, buyer.buffer.base());
+  }
+
   std::size_t purchased = 0;
   for (ChunkId chunk : missing) {
     if (purchased >= purchase_cap) break;
     if (budget < 1.0 && budget <= 0.0) break;
     // Collect neighbor sellers that hold the chunk and still have upload
     // budget this round; weight by their availability (buffer fill).
-    seller_ids_.clear();
-    seller_weights_.clear();
-    for (PeerId nbr : neighbors) {
-      const PeerState& s = peers_[nbr];
-      if (!s.alive || upload_budget_[nbr] < 1.0) continue;
-      if (!s.buffer.has(chunk)) continue;
-      seller_ids_.push_back(nbr);
-      // Availability-driven routing (the paper's transfer probabilities):
-      // uniform among the neighbors that own the chunk and still have
-      // upload budget. Capacity shapes income only through saturation (the
-      // budget filter above), so λ_i is wealth-independent — the Jackson
-      // structure. The fill-weighted variant instead concentrates demand on
-      // chunk-rich (typically wealthy) peers: the rich-get-richer ablation.
-      seller_weights_.push_back(
-          cfg_.seller_choice == ProtocolConfig::SellerChoice::kFillWeighted
-              ? static_cast<double>(s.buffer.count()) + 1.0
-              : 1.0);
-    }
-    if (seller_ids_.empty()) {
-      ++buyer.failed_availability;
-      continue;
-    }
+    // Availability-driven routing (the paper's transfer probabilities):
+    // uniform among the neighbors that own the chunk and still have
+    // upload budget. Capacity shapes income only through saturation (the
+    // budget filter), so λ_i is wealth-independent — the Jackson
+    // structure. The fill-weighted variant instead concentrates demand on
+    // chunk-rich (typically wealthy) peers: the rich-get-richer ablation.
+    const bool fill_weighted =
+        cfg_.seller_choice == ProtocolConfig::SellerChoice::kFillWeighted;
     PeerId seller_id = 0;
-    if (cfg_.seller_choice == ProtocolConfig::SellerChoice::kCheapestAsk) {
-      // Procurement auction: every owner quotes its ask; the cheapest wins
-      // (ties broken by scan order, which is neighbor-list order).
-      econ::Credits best = std::numeric_limits<econ::Credits>::max();
-      for (const PeerId candidate : seller_ids_) {
-        const econ::Credits ask = pricing_->price(candidate, chunk);
-        if (ask < best) {
-          best = ask;
-          seller_id = candidate;
+    bool have_seller = false;
+    if (cfg_.use_owner_index) {
+      // The slot's candidate mask is already budget-correct (drained
+      // sellers were cleared the moment they drained), so the candidate
+      // count is a popcount and the uniform pick an nth-set-bit select.
+      const std::uint64_t* mask =
+          slot_masks_.data() + phase_slot(chunk) * eligible_words_;
+      std::size_t num_sellers = 0;
+      for (std::size_t w = 0; w < eligible_words_; ++w) {
+        num_sellers += static_cast<std::size_t>(std::popcount(mask[w]));
+      }
+      if (num_sellers > 0) {
+        have_seller = true;
+        if (cfg_.seller_choice ==
+            ProtocolConfig::SellerChoice::kCheapestAsk) {
+          // Procurement auction: cheapest ask wins, ties broken by scan
+          // order — ascending bit position is neighbor-list order.
+          econ::Credits best = std::numeric_limits<econ::Credits>::max();
+          for (std::size_t w = 0; w < eligible_words_; ++w) {
+            std::uint64_t m = mask[w];
+            while (m != 0) {
+              const PeerId candidate = eligible_[
+                  w * 64 + static_cast<std::size_t>(std::countr_zero(m))];
+              m &= m - 1;
+              const econ::Credits ask = pricing_->price(candidate, chunk);
+              if (ask < best) {
+                best = ask;
+                seller_id = candidate;
+              }
+            }
+          }
+        } else if (fill_weighted) {
+          seller_ids_.clear();
+          seller_weights_.clear();
+          for (std::size_t w = 0; w < eligible_words_; ++w) {
+            std::uint64_t m = mask[w];
+            while (m != 0) {
+              const PeerId candidate = eligible_[
+                  w * 64 + static_cast<std::size_t>(std::countr_zero(m))];
+              m &= m - 1;
+              seller_ids_.push_back(candidate);
+              seller_weights_.push_back(
+                  static_cast<double>(peers_[candidate].buffer.count()) +
+                  1.0);
+            }
+          }
+          seller_id = seller_ids_[rng_.discrete(seller_weights_)];
+        } else {
+          seller_id = eligible_[nth_set_bit(mask, eligible_words_,
+                                            uniform_pick(num_sellers))];
         }
       }
     } else {
-      seller_id = seller_ids_[rng_.discrete(seller_weights_)];
+      // Reference path: the original O(degree) per-chunk neighbor scan.
+      // Kept for the equivalence tests and the perf benches; must stay
+      // trace-identical to the indexed path.
+      seller_ids_.clear();
+      seller_weights_.clear();
+      for (PeerId nbr : neighbors) {
+        const PeerState& s = peers_[nbr];
+        if (!s.alive || upload_budget_[nbr] < 1.0) continue;
+        if (!s.buffer.has(chunk)) continue;
+        seller_ids_.push_back(nbr);
+        if (fill_weighted) {
+          seller_weights_.push_back(
+              static_cast<double>(s.buffer.count()) + 1.0);
+        }
+      }
+      if (!seller_ids_.empty()) {
+        have_seller = true;
+        if (cfg_.seller_choice ==
+            ProtocolConfig::SellerChoice::kCheapestAsk) {
+          econ::Credits best = std::numeric_limits<econ::Credits>::max();
+          for (const PeerId candidate : seller_ids_) {
+            const econ::Credits ask = pricing_->price(candidate, chunk);
+            if (ask < best) {
+              best = ask;
+              seller_id = candidate;
+            }
+          }
+        } else if (fill_weighted) {
+          seller_id = seller_ids_[rng_.discrete(seller_weights_)];
+        } else {
+          seller_id = seller_ids_[uniform_pick(seller_ids_.size())];
+        }
+      }
+    }
+    if (!have_seller) {
+      ++buyer.failed_availability;
+      continue;
     }
     const econ::Credits price = pricing_->price(seller_id, chunk);
 
@@ -366,14 +484,18 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
     }
     if (price > 0 && !ledger_.transfer(buyer_id, seller_id, price)) {
       ++buyer.failed_affordability;
-      metrics_.increment("market.liquidity_failures");
+      ++*liquidity_failures_;
       continue;
     }
 
     // Delivery.
     const bool fresh = buyer.buffer.set(chunk);
     CF_ENSURES_MSG(fresh, "purchased a chunk already held");
+    owner_index_.on_gain(buyer_id, chunk);
     upload_budget_[seller_id] -= 1.0;
+    if (cfg_.use_owner_index && upload_budget_[seller_id] < 1.0) {
+      remove_drained_seller(seller_id, missing);
+    }
     budget -= static_cast<double>(price);
     ++purchased;
 
@@ -383,8 +505,8 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
     ++buyer.chunks_downloaded;
     ++seller.chunks_uploaded;
     trace_.record(now, buyer_id, seller_id, chunk, price);
-    metrics_.increment("market.transactions");
-    metrics_.increment("market.volume", price);
+    ++*tx_count_;
+    *tx_volume_ += price;
 
     // Income taxation above the wealth threshold (Sec. VI-C).
     if (cfg_.tax.enabled && price > 0) {
@@ -394,9 +516,71 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
         const auto collected = ledger_.collect_tax(seller_id, due);
         CF_ENSURES_MSG(collected == due,
                        "tax engine asked for more than the balance");
-        metrics_.increment("tax.collected", collected);
+        *tax_collected_ += collected;
       }
     }
+  }
+}
+
+void StreamingProtocol::build_purchase_candidates(
+    std::span<const PeerId> neighbors, std::span<const ChunkId> wanted,
+    ChunkId window_base) {
+  phase_base_ = window_base;
+  phase_base_slot_ = owner_index_.slot(window_base);
+  // Hoisted per-seller filters: aliveness is constant for the whole round,
+  // and a seller that entered the phase without upload budget can never
+  // regain it mid-phase (budgets only drain; mid-phase drains are handled
+  // by remove_drained_seller).
+  eligible_.clear();
+  for (const PeerId nbr : neighbors) {
+    if (peers_[nbr].alive && upload_budget_[nbr] >= 1.0) {
+      eligible_.push_back(nbr);
+    }
+  }
+  eligible_words_ = (eligible_.size() + 63) / 64;
+  const std::size_t needed = cfg_.window_chunks * eligible_words_;
+  if (slot_masks_.size() < needed) slot_masks_.resize(needed);
+  missing_mask_.assign(owner_index_.words_per_peer(), 0);
+  for (const ChunkId c : wanted) {
+    const std::size_t s = phase_slot(c);
+    missing_mask_[s / 64] |= std::uint64_t{1} << (s % 64);
+    std::uint64_t* row = slot_masks_.data() + s * eligible_words_;
+    std::fill_n(row, eligible_words_, std::uint64_t{0});
+  }
+  for (std::size_t j = 0; j < eligible_.size(); ++j) {
+    const auto words = owner_index_.owned(eligible_[j]);
+    const std::uint64_t bit = std::uint64_t{1} << (j & 63);
+    const std::size_t word_j = j >> 6;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t m = words[w] & missing_mask_[w];
+      while (m != 0) {
+        const auto s = w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+        m &= m - 1;
+        slot_masks_[s * eligible_words_ + word_j] |= bit;
+      }
+    }
+  }
+}
+
+std::size_t StreamingProtocol::uniform_pick(std::size_t num_candidates) {
+  const double u = rng_.uniform() * static_cast<double>(num_candidates);
+  std::size_t pick =
+      u <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(u)) - 1;
+  if (pick >= num_candidates) pick = num_candidates - 1;
+  return pick;
+}
+
+void StreamingProtocol::remove_drained_seller(
+    PeerId seller, std::span<const ChunkId> wanted) {
+  // Rare (a seller drains at most once per buyer phase), so a linear scan
+  // for its bit position is fine.
+  std::size_t j = 0;
+  while (j < eligible_.size() && eligible_[j] != seller) ++j;
+  if (j == eligible_.size()) return;
+  const std::uint64_t clear = ~(std::uint64_t{1} << (j & 63));
+  const std::size_t word_j = j >> 6;
+  for (const ChunkId c : wanted) {
+    slot_masks_[phase_slot(c) * eligible_words_ + word_j] &= clear;
   }
 }
 

@@ -28,6 +28,7 @@
 #include "econ/taxation.hpp"
 #include "p2p/ledger.hpp"
 #include "p2p/overlay.hpp"
+#include "p2p/owner_index.hpp"
 #include "p2p/peer.hpp"
 #include "p2p/spending.hpp"
 #include "p2p/trace.hpp"
@@ -62,6 +63,16 @@ struct ProtocolConfig {
   double stream_rate = 2.0;        ///< chunks emitted per second
   std::size_t window_chunks = 48;  ///< playback window size
   std::size_t seed_fanout = 6;     ///< free copies of each fresh chunk
+
+  /// Target mean degree of the bootstrap scale-free overlay (and the knob
+  /// that sizes the purchase phase's per-chunk seller scans).
+  double overlay_mean_degree = 20.0;
+
+  /// Resolve purchase candidates through the incrementally-maintained
+  /// chunk→owner bitmap index (word-wide AND walks) instead of rescanning
+  /// every neighbor per chunk. Both paths produce bit-identical markets —
+  /// the flag exists so tests and perf benches can compare them.
+  bool use_owner_index = true;
 
   /// Mean chunks/sec a peer can serve. The ratio to stream_rate is the
   /// system's capacity headroom: at ~1.25x the swarm is supply-limited and
@@ -156,8 +167,12 @@ class StreamingProtocol {
   [[nodiscard]] std::vector<PeerId> alive_peers() const;
   [[nodiscard]] std::size_t num_alive() const { return overlay_.num_active(); }
   [[nodiscard]] const econ::TaxationEngine& taxation() const { return tax_; }
+  [[nodiscard]] const OwnerIndex& owner_index() const { return owner_index_; }
   [[nodiscard]] TransactionTrace& trace() { return trace_; }
   [[nodiscard]] const TransactionTrace& trace() const { return trace_; }
+  /// Mutable for gauge/series writers; do NOT call clear() on it while the
+  /// protocol is live — the hot loop caches counter cells whose pointers
+  /// clear() would invalidate.
   [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
 
   /// Balances of alive peers (order matches alive_peers()).
@@ -181,6 +196,12 @@ class StreamingProtocol {
   /// Rounds executed so far.
   [[nodiscard]] std::uint64_t rounds_run() const { return rounds_; }
 
+  /// Cumulative wall-clock seconds spent inside the purchase phase (all
+  /// peers, all rounds) — the hot-path telemetry the perf benches report.
+  [[nodiscard]] double purchase_phase_seconds() const {
+    return purchase_phase_seconds_;
+  }
+
  private:
   /// Wrap a callback so it no-ops once this protocol is destroyed. Every
   /// lambda handed to the simulator goes through this: the simulator owns
@@ -191,6 +212,34 @@ class StreamingProtocol {
   void run_round(double now);
   void seed_new_chunks(double now, ChunkId head);
   void peer_purchase_phase(PeerId buyer_id, double now);
+  /// Fill the per-slot candidate bitmasks for this buyer: bit j of slot s
+  /// set ⟺ eligible_[j] owns the wanted chunk at slot s. eligible_ holds
+  /// the buyer's alive, upload-budgeted neighbors in neighbor-list order
+  /// (the tie-break order the seller choice depends on), so ascending bit
+  /// position IS neighbor order.
+  void build_purchase_candidates(std::span<const PeerId> neighbors,
+                                 std::span<const ChunkId> wanted,
+                                 ChunkId window_base);
+  /// OwnerIndex::slot without the per-chunk hardware divide: all chunks a
+  /// phase touches sit in [phase_base_, phase_base_ + window), so one
+  /// wrapping add from the base slot (computed once per phase) suffices.
+  [[nodiscard]] std::size_t phase_slot(ChunkId c) const {
+    std::size_t s =
+        phase_base_slot_ + static_cast<std::size_t>(c - phase_base_);
+    if (s >= cfg_.window_chunks) s -= cfg_.window_chunks;
+    return s;
+  }
+  /// A seller's upload budget dropped below 1 mid-phase: clear its bit
+  /// from every wanted slot so later chunks in this phase skip it (the
+  /// indexed equivalent of the naive scan's per-chunk budget check).
+  void remove_drained_seller(PeerId seller, std::span<const ChunkId> wanted);
+  /// Availability-uniform choice over `num_candidates` in closed form.
+  /// Rng::discrete over k all-ones weights draws one uniform() and returns
+  /// the first i with u*k - (i+1) <= 0, i.e. ceil(u*k) - 1 (0 when
+  /// u*k <= 1) — computed here with the identical RNG draw and identical
+  /// pick, so both purchase paths stay bit-for-bit equal to the discrete()
+  /// formulation without materializing weights or walking the cumsum.
+  [[nodiscard]] std::size_t uniform_pick(std::size_t num_candidates);
   void schedule_next_arrival();
   void handle_arrival(double now);
   void handle_departure(PeerId id, double now);
@@ -202,6 +251,7 @@ class StreamingProtocol {
   util::Rng rng_;
   CreditLedger ledger_;
   Overlay overlay_;
+  OwnerIndex owner_index_;  ///< mirrors every peers_[i].buffer, always live
   std::vector<PeerState> peers_;
   std::unique_ptr<econ::PricingScheme> pricing_;
   std::unique_ptr<SpendingPolicy> spending_;
@@ -214,6 +264,24 @@ class StreamingProtocol {
   std::vector<PeerId> round_order_;
   std::vector<double> seller_weights_;
   std::vector<PeerId> seller_ids_;
+  // Per-buyer-phase scratch for the indexed path: the wanted-chunk mask,
+  // the buyer's eligible neighbors (alive + upload budget, in
+  // neighbor-list order), and one bitmask over those neighbors per window
+  // slot (row-major, eligible_words_ words per slot).
+  std::vector<std::uint64_t> missing_mask_;
+  std::vector<PeerId> eligible_;
+  std::vector<std::uint64_t> slot_masks_;
+  std::size_t eligible_words_ = 0;
+  std::vector<ChunkId> missing_scratch_;
+  ChunkId phase_base_ = 0;          ///< current phase's window base
+  std::size_t phase_base_slot_ = 0; ///< its ring slot (one divide per phase)
+
+  // Hot-loop counter cells cached once (stable for the registry lifetime)
+  // so per-transaction accounting skips the by-name map lookup.
+  std::uint64_t* tx_count_ = nullptr;
+  std::uint64_t* tx_volume_ = nullptr;
+  std::uint64_t* liquidity_failures_ = nullptr;
+  std::uint64_t* tax_collected_ = nullptr;
 
   // Trailing spend-rate window (begin_rate_window / windowed_spend_rates).
   std::vector<std::uint64_t> spent_marker_;
@@ -226,6 +294,7 @@ class StreamingProtocol {
   std::vector<sim::Simulator::PeriodicHandle> periodic_handles_;
 
   std::uint64_t rounds_ = 0;
+  double purchase_phase_seconds_ = 0.0;
   bool started_ = false;
 };
 

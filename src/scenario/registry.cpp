@@ -128,10 +128,11 @@ ScenarioRegistry make_builtin() {
     spec.config.protocol.churn.enabled = true;
     spec.config.protocol.churn.arrival_rate = 1.0;
     spec.config.protocol.churn.mean_lifespan = 500.0;
-    // Headroom for the churning population on top of the bootstrap cohort.
-    spec.config.protocol.max_peers =
-        spec.config.protocol.initial_peers +
-        static_cast<std::size_t>(1.0 * 500.0) / 2 + 256;
+    // Headroom for the churning population on top of the bootstrap cohort,
+    // sized for the bench/CLI sweeps over the churn axes (up to 4 peers/s
+    // × 250 s ≈ 1000 expected alive) — capacity drops would silently skew
+    // the arrival process.
+    spec.config.protocol.max_peers = 2048;
     reg.add(std::move(spec));
   }
   {

@@ -13,6 +13,10 @@ std::uint64_t MetricsRegistry::counter(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+std::uint64_t* MetricsRegistry::counter_cell(const std::string& name) {
+  return &counters_[name];
+}
+
 void MetricsRegistry::set_gauge(const std::string& gauge, double value) {
   gauges_[gauge] = value;
 }

@@ -22,6 +22,12 @@ class MetricsRegistry {
   void increment(const std::string& counter, std::uint64_t by = 1);
   [[nodiscard]] std::uint64_t counter(const std::string& name) const;
 
+  /// Stable pointer to a counter's cell (created zeroed on first use).
+  /// std::map nodes don't move, so the pointer stays valid until clear();
+  /// hot loops cache it to skip the per-increment name lookup (and the
+  /// std::string construction that goes with it).
+  [[nodiscard]] std::uint64_t* counter_cell(const std::string& name);
+
   void set_gauge(const std::string& gauge, double value);
   [[nodiscard]] double gauge(const std::string& name) const;
 

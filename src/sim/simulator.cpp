@@ -26,14 +26,21 @@ Simulator::PeriodicHandle Simulator::schedule_periodic(
   PeriodicHandle handle;
   auto cancelled = handle.cancelled_;
   auto task = std::make_shared<std::function<void(double)>>();
-  auto callback = std::move(cb);
-  *task = [this, interval, cancelled, task, callback](double t) {
+  // The queue entry is the sole strong owner of the task cell: each pending
+  // occurrence keeps it alive, and the cell itself only holds a weak
+  // self-reference (a strong one would be a shared_ptr cycle that leaks the
+  // cell and every capture in `cb`).
+  auto occurrence = [task](double t) { (*task)(t); };
+  *task = [this, interval, cancelled, weak_task = std::weak_ptr(task),
+           callback = std::move(cb)](double t) {
     if (*cancelled) return;
     callback(t);
     if (*cancelled) return;
-    schedule_at(t + interval, *task);
+    if (auto strong = weak_task.lock()) {
+      schedule_at(t + interval, [strong](double next) { (*strong)(next); });
+    }
   };
-  schedule_at(first_at, *task);
+  schedule_at(first_at, std::move(occurrence));
   return handle;
 }
 

@@ -1,0 +1,187 @@
+// Tests for p2p/owner_index: the incrementally-maintained chunk→owner
+// bitmaps behind the purchase fast path. The load-bearing property is
+// exact equivalence — the indexed purchase phase must reproduce the naive
+// neighbor-scan trace transaction for transaction — plus the mirror
+// invariant (index bits == buffer contents) across seeding, purchases,
+// window advances, and churn join/leave.
+#include <gtest/gtest.h>
+
+#include "p2p/owner_index.hpp"
+#include "p2p/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace creditflow::p2p {
+namespace {
+
+TEST(OwnerIndex, GainAndClearTrackBits) {
+  OwnerIndex index(4, 48);
+  EXPECT_EQ(index.words_per_peer(), 1u);
+  index.on_gain(2, 5);
+  index.on_gain(2, 47);
+  index.on_gain(2, 48);  // slot 0 (wraps)
+  const auto words = index.owned(2);
+  EXPECT_EQ(words[0],
+            (std::uint64_t{1} << 5) | (std::uint64_t{1} << 47) | 1u);
+  EXPECT_EQ(index.owned(1)[0], 0u);
+  index.on_clear(2);
+  EXPECT_EQ(index.owned(2)[0], 0u);
+}
+
+TEST(OwnerIndex, AdvanceEvictsDepartedSlots) {
+  OwnerIndex index(2, 48);
+  for (ChunkId c = 0; c < 48; ++c) index.on_gain(0, c);
+  index.on_advance(0, 0, 10);
+  // Slots 0..9 cleared, 10..47 still set.
+  std::uint64_t expect = 0;
+  for (ChunkId c = 10; c < 48; ++c) expect |= std::uint64_t{1} << c;
+  EXPECT_EQ(index.owned(0)[0], expect);
+  // A jump past the whole window clears everything.
+  index.on_advance(0, 10, 10 + 48);
+  EXPECT_EQ(index.owned(0)[0], 0u);
+}
+
+TEST(OwnerIndex, MultiWordWindows) {
+  OwnerIndex index(2, 100);
+  EXPECT_EQ(index.words_per_peer(), 2u);
+  index.on_gain(1, 70);
+  EXPECT_EQ(index.owned(1)[0], 0u);
+  EXPECT_EQ(index.owned(1)[1], std::uint64_t{1} << 6);
+  index.on_advance(1, 70, 71);
+  EXPECT_EQ(index.owned(1)[1], 0u);
+}
+
+TEST(OwnerIndex, MirrorsBufferMap) {
+  OwnerIndex index(1, 32);
+  BufferMap buffer(32);
+  buffer.reset(100);
+  EXPECT_TRUE(index.mirrors(0, buffer));
+  buffer.set(105);
+  EXPECT_FALSE(index.mirrors(0, buffer));
+  index.on_gain(0, 105);
+  EXPECT_TRUE(index.mirrors(0, buffer));
+  buffer.advance(106);
+  index.on_advance(0, 100, 106);
+  EXPECT_TRUE(index.mirrors(0, buffer));
+}
+
+ProtocolConfig base_config(std::uint64_t seed) {
+  ProtocolConfig cfg;
+  cfg.initial_peers = 80;
+  cfg.max_peers = 120;
+  cfg.initial_credits = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Run `cfg` for `horizon` seconds with full trace recording.
+struct RunOutcome {
+  std::vector<TransactionRecord> records;
+  std::vector<double> balances;
+};
+
+RunOutcome run_market(ProtocolConfig cfg, double horizon) {
+  sim::Simulator sim;
+  StreamingProtocol proto(cfg, sim);
+  proto.trace().set_keep_records(true);
+  proto.start();
+  sim.run_until(horizon);
+  return {proto.trace().records(), proto.balance_snapshot()};
+}
+
+void expect_identical_markets(const ProtocolConfig& cfg, double horizon) {
+  ProtocolConfig indexed = cfg;
+  indexed.use_owner_index = true;
+  ProtocolConfig naive = cfg;
+  naive.use_owner_index = false;
+
+  const RunOutcome a = run_market(indexed, horizon);
+  const RunOutcome b = run_market(naive, horizon);
+
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].time, b.records[i].time) << "record " << i;
+    ASSERT_EQ(a.records[i].buyer, b.records[i].buyer) << "record " << i;
+    ASSERT_EQ(a.records[i].seller, b.records[i].seller) << "record " << i;
+    ASSERT_EQ(a.records[i].chunk, b.records[i].chunk) << "record " << i;
+    ASSERT_EQ(a.records[i].price, b.records[i].price) << "record " << i;
+  }
+  EXPECT_EQ(a.balances, b.balances);
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 17ull, 2012ull}) {
+    expect_identical_markets(base_config(seed), 60.0);
+  }
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanUnderChurn) {
+  for (const std::uint64_t seed : {3ull, 99ull}) {
+    auto cfg = base_config(seed);
+    cfg.churn.enabled = true;
+    cfg.churn.arrival_rate = 0.8;
+    cfg.churn.mean_lifespan = 40.0;
+    cfg.churn.join_links = 6;
+    expect_identical_markets(cfg, 120.0);
+  }
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanFillWeighted) {
+  auto cfg = base_config(7);
+  cfg.seller_choice = ProtocolConfig::SellerChoice::kFillWeighted;
+  cfg.pricing.kind = econ::PricingKind::kPoisson;
+  cfg.pricing.poisson_mean = 1.0;
+  expect_identical_markets(cfg, 60.0);
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanCheapestAsk) {
+  auto cfg = base_config(11);
+  cfg.seller_choice = ProtocolConfig::SellerChoice::kCheapestAsk;
+  cfg.pricing.kind = econ::PricingKind::kPerSeller;
+  expect_identical_markets(cfg, 60.0);
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanSupplyLimited) {
+  // The backlogged regime (capacity < stream rate): long shopping lists,
+  // drained sellers, reserve-credit caps — the paths the fast path
+  // optimizes hardest.
+  auto cfg = base_config(23);
+  cfg.stream_rate = 2.4;
+  cfg.upload_capacity = 2.0;
+  cfg.window_chunks = 96;
+  cfg.max_purchase_attempts = 96;
+  cfg.base_spend_rate = 7.2;
+  cfg.tax.enabled = true;
+  cfg.tax.rate = 0.15;
+  cfg.tax.threshold = 30.0;
+  expect_identical_markets(cfg, 80.0);
+}
+
+TEST(OwnerIndexInvariant, MirrorsEveryBufferAfterChurnHeavyRun) {
+  auto cfg = base_config(5);
+  cfg.churn.enabled = true;
+  cfg.churn.arrival_rate = 1.5;
+  cfg.churn.mean_lifespan = 25.0;  // slots recycle many times
+  cfg.churn.join_links = 5;
+  sim::Simulator sim;
+  StreamingProtocol proto(cfg, sim);
+  proto.start();
+  sim.run_until(200.0);
+  EXPECT_GT(proto.metrics().counter("churn.departures"), 100u);
+  std::size_t alive_checked = 0;
+  for (PeerId id = 0; id < cfg.max_peers; ++id) {
+    if (proto.peer(id).alive) {
+      EXPECT_TRUE(proto.owner_index().mirrors(id, proto.peer(id).buffer))
+          << "peer " << id;
+      ++alive_checked;
+    } else {
+      // Departed (or never-used) slots must hold no stale ownership bits.
+      for (const auto word : proto.owner_index().owned(id)) {
+        EXPECT_EQ(word, 0u) << "peer " << id;
+      }
+    }
+  }
+  EXPECT_GT(alive_checked, 0u);
+}
+
+}  // namespace
+}  // namespace creditflow::p2p
