@@ -21,12 +21,12 @@ int main() {
 
   scenario::ScenarioSpec no_injection = spec;
   no_injection.config.protocol.injection.enabled = false;
-  const auto none = scenario::run_scenario(no_injection);
+  const auto none = bench::require_ok(scenario::run_scenario(no_injection));
 
   scenario::SweepSpec sweep;
   sweep.axes.push_back(scenario::SweepAxis::parse("inject.interval=200,50"));
   scenario::SweepRunner runner(spec, sweep);
-  const auto injected = runner.run();
+  const auto injected = bench::require_ok(runner.run());
   const auto& slow = injected[0];
   const auto& fast = injected[1];
 

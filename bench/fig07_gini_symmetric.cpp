@@ -22,7 +22,7 @@ int main() {
   scenario::SweepSpec sweep;
   sweep.axes.push_back(scenario::SweepAxis::parse("credits=50,100,200"));
   scenario::SweepRunner runner(spec, sweep);
-  const auto results = runner.run();
+  const auto results = bench::require_ok(runner.run());
 
   util::ConsoleTable table(
       "Fig. 7 — Gini of balances over time, symmetric utilization");

@@ -25,14 +25,14 @@ int main() {
   // The untaxed control...
   scenario::ScenarioSpec no_tax = spec;
   no_tax.config.protocol.tax.enabled = false;
-  const auto control = scenario::run_scenario(no_tax);
+  const auto control = bench::require_ok(scenario::run_scenario(no_tax));
 
   // ...and the rate × threshold grid, all cores.
   scenario::SweepSpec sweep;
   sweep.axes.push_back(scenario::SweepAxis::parse("tax.rate=0.1,0.2"));
   sweep.axes.push_back(scenario::SweepAxis::parse("tax.threshold=50,80"));
   scenario::SweepRunner runner(spec, sweep);
-  const auto grid = runner.run();
+  const auto grid = bench::require_ok(runner.run());
   // Point layout: rate slowest → {0.1/50, 0.1/80, 0.2/50, 0.2/80}.
   const scenario::RunResult* cases[] = {&control, &grid[0], &grid[2],
                                         &grid[1], &grid[3]};
