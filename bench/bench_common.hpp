@@ -27,6 +27,21 @@ inline double time_scale() {
   return v > 0.0 ? v : 1.0;
 }
 
+/// Runner options for sweeps that only read scalar metrics (ablation
+/// grids): reports are dropped, and when CREDITFLOW_CACHE_DIR is set the
+/// sweep runs against that content-addressed run cache, so re-running a
+/// bench after touching one configuration recomputes only the changed
+/// grid points. Sweeps that read time series out of RunResult::report
+/// must NOT use this.
+inline scenario::SweepRunner::Options metrics_only_options() {
+  scenario::SweepRunner::Options options;
+  options.keep_reports = false;
+  if (const char* dir = std::getenv("CREDITFLOW_CACHE_DIR")) {
+    if (*dir != '\0') options.cache_dir = dir;
+  }
+  return options;
+}
+
 /// Abort loudly if a sweep run failed — a failed run carries an empty
 /// report, which would otherwise render as an empty table (or trip a
 /// time-series precondition) with the original error discarded.

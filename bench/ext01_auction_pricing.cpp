@@ -21,8 +21,9 @@ int main() {
 
   scenario::SweepSpec sweep;
   sweep.axes.push_back(scenario::SweepAxis::parse("seller_choice=0,1,2"));
-  const auto results =
-      bench::require_ok(scenario::SweepRunner(spec, sweep).run());
+  const auto results = bench::require_ok(
+      scenario::SweepRunner(spec, sweep, bench::metrics_only_options())
+          .run());
 
   util::ConsoleTable table(
       "ext01 — seller-choice mechanisms under Poisson pricing (c=200)");

@@ -83,7 +83,8 @@ int main() {
   scenario::SweepSpec th_sweep;
   th_sweep.axes.push_back(
       scenario::SweepAxis::parse("tax.threshold=20:120:20"));
-  scenario::SweepRunner ablation_runner(ablation, th_sweep);
+  scenario::SweepRunner ablation_runner(ablation, th_sweep,
+                                        bench::metrics_only_options());
   scenario::ResultSink sink;
   sink.add_all(ablation_runner.run());
   const std::vector<std::string> metrics = {"converged_gini"};

@@ -61,7 +61,8 @@ int main() {
   scenario::SweepSpec m_sweep;
   m_sweep.axes.push_back(
       scenario::SweepAxis::parse("spending.threshold=25,50,100,200,400"));
-  scenario::SweepRunner runner(ablation, m_sweep);
+  scenario::SweepRunner runner(ablation, m_sweep,
+                               bench::metrics_only_options());
   util::ConsoleTable sweep_table(
       "Fig. 10 ablation — adjustment threshold m sweep");
   sweep_table.set_header({"m", "converged_gini"});

@@ -15,6 +15,17 @@
 // and, with --out, land as CSV (or JSON with --json); --runs-out writes the
 // raw per-run rows. Outputs are byte-identical for any --jobs value.
 //
+// Sweep execution API v2 extras:
+//   --cache-dir DIR   content-addressed run cache: re-running a grid after
+//                     adding axes/seeds only computes the missing runs
+//   --shard I/N       execute only the i-th strided shard of the run list;
+//                     --out then writes the partial set as run records
+//   --merge FILE      (repeatable, own mode) merge shard record files back
+//                     into the aggregate outputs — byte-identical to the
+//                     single-process sweep
+//   --eta             live per-run progress with a wall-time ETA, and
+//                     telemetry columns in --runs-out
+//
 // Prints the market report (single-run mode), optionally the Gini chart,
 // and (with --trace) the sustainability analyzer's verdict on the
 // empirical Table I mapping. Exit code 0 on success/conserved ledger, 2 on
@@ -25,6 +36,8 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/analyzer.hpp"
 #include "core/market.hpp"
@@ -49,10 +62,20 @@ namespace {
       << "  --seeds N            replications per grid point (default 1)\n"
       << "  --jobs N             worker threads, 0 = all cores (default 0)\n"
       << "  --out FILE           write aggregated rows (CSV, or JSON\n"
-      << "                       with --json)\n"
+      << "                       with --json); in --shard mode, the\n"
+      << "                       partial run-record set instead\n"
       << "  --runs-out FILE      write raw per-run rows as CSV\n"
       << "  --json               aggregate output as JSON instead of CSV\n"
       << "  --quiet              suppress per-run progress lines\n"
+      << "  --cache-dir DIR      skip runs already in the content-addressed\n"
+      << "                       run cache at DIR; append fresh ones\n"
+      << "  --shard I/N          execute only shard I of N (strided run-\n"
+      << "                       list partition, 0-based)\n"
+      << "  --merge FILE         merge shard record files (repeatable) and\n"
+      << "                       emit the aggregate outputs; no execution\n"
+      << "  --eta                live ETA in progress lines (overrides\n"
+      << "                       --quiet) + wall-time telemetry columns\n"
+      << "                       in --runs-out\n"
       << "single-run convenience flags (aliases of --set):\n"
       << "  --peers N --credits C --horizon S --seed K\n"
       << "  --pricing uniform|poisson|perseller|linear\n"
@@ -112,28 +135,136 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
-              creditflow::scenario::SweepSpec sweep, std::size_t jobs,
-              const std::string& out_path, const std::string& runs_out_path,
-              bool json, bool quiet) {
+/// Everything sweep mode and merge mode share downstream of execution.
+struct SweepOutputOptions {
+  std::string out_path;
+  std::string runs_out_path;
+  bool json = false;
+  bool timing_columns = false;
+};
+
+/// Print the first few failed-run errors (the rest are in the JSON/CSV
+/// outputs), returning the failure count.
+std::size_t report_failures(const creditflow::scenario::ResultSink& sink) {
+  std::size_t failures = 0;
+  constexpr std::size_t kMaxPrinted = 5;
+  for (const auto& run : sink.runs()) {
+    if (run.error.empty()) continue;
+    if (++failures <= kMaxPrinted) {
+      std::cerr << "  run " << run.run_index << ": " << run.error << "\n";
+    }
+  }
+  if (failures > kMaxPrinted) {
+    std::cerr << "  ... and " << failures - kMaxPrinted << " more\n";
+  }
+  return failures;
+}
+
+/// Write --out/--runs-out and report failures; exit code 0/2. With
+/// `records` set (shard mode), --out receives that run-record payload
+/// instead of the aggregate, and the (partial, hence misleading)
+/// aggregate table is suppressed.
+int emit_sweep_outputs(creditflow::scenario::ResultSink& sink,
+                       const std::string& title,
+                       const SweepOutputOptions& out,
+                       const std::string* records = nullptr) {
   using namespace creditflow;
+  sink.set_timing_columns(out.timing_columns);
+
+  if (records == nullptr) {
+    const std::vector<std::string> metrics = {
+        "converged_gini", "mean_buffer_fill", "exchange_efficiency",
+        "mean_balance",   "bankrupt_fraction"};
+    sink.aggregate_table(title, metrics).print();
+  }
+
+  if (!out.out_path.empty()) {
+    const std::string payload =
+        records != nullptr
+            ? *records
+            : (out.json ? sink.aggregate_json() : sink.aggregate_csv());
+    if (!write_file(out.out_path, payload)) return 2;
+    if (records != nullptr) {
+      std::cout << "[shard] " << out.out_path << " (" << sink.size()
+                << " run records)\n";
+    } else {
+      std::cout << "[out] " << out.out_path << "\n";
+    }
+  }
+  if (!out.runs_out_path.empty()) {
+    if (!write_file(out.runs_out_path, sink.runs_csv())) return 2;
+    std::cout << "[runs] " << out.runs_out_path << "\n";
+  }
+  const std::size_t failures = report_failures(sink);
+  if (failures > 0) {
+    std::cerr << failures << " run(s) failed\n";
+    return 2;
+  }
+  return 0;
+}
+
+struct SweepCliOptions {
+  std::size_t jobs = 0;
+  bool quiet = false;
+  bool eta = false;
+  std::string cache_dir;
+  bool sharded = false;  ///< --shard given (even 0/1 — output run records)
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  SweepOutputOptions out;
+};
+
+int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
+              creditflow::scenario::SweepSpec sweep,
+              const SweepCliOptions& cli) {
+  using namespace creditflow;
+  const scenario::SweepPlan plan(spec, sweep);
+  const std::size_t total =
+      plan.shard(cli.shard_index, cli.shard_count).size();
   std::cerr << "sweep: " << sweep.num_points() << " grid points x "
-            << sweep.seeds << " seeds = " << sweep.num_runs()
-            << " runs (base scenario " << spec.name << ")\n";
+            << sweep.seeds << " seeds = " << sweep.num_runs() << " runs";
+  if (cli.sharded) {
+    std::cerr << ", shard " << cli.shard_index << "/" << cli.shard_count
+              << " owns " << total;
+  }
+  std::cerr << " (base scenario " << spec.name << ")\n";
 
   scenario::SweepRunner::Options options;
-  options.jobs = jobs;
+  options.jobs = cli.jobs;
   options.keep_reports = false;
-  if (!quiet) {
-    const std::size_t total = sweep.num_runs();
-    std::size_t done = 0;
-    options.on_result = [&done, total](const scenario::RunResult& r) {
+  options.cache_dir = cli.cache_dir;
+  options.shard_index = cli.shard_index;
+  options.shard_count = cli.shard_count;
+  std::size_t done = 0;
+  std::size_t executed = 0;
+  double executed_wall = 0.0;
+  const double workers = static_cast<double>(
+      cli.jobs != 0 ? cli.jobs
+                    : std::max(1u, std::thread::hardware_concurrency()));
+  // --eta overrides --quiet: a requested ETA needs the progress lines that
+  // carry it.
+  if (!cli.quiet || cli.eta) {
+    options.on_result = [&](const scenario::RunResult& r) {
       ++done;
+      if (!r.telemetry.from_cache) {
+        ++executed;
+        executed_wall += r.telemetry.wall_seconds;
+      }
       std::cerr << "[" << done << "/" << total << "] run " << r.run_index;
       if (!r.error.empty()) {
         std::cerr << " FAILED: " << r.error;
+      } else if (r.telemetry.from_cache) {
+        std::cerr << " cached gini=" << r.metric("converged_gini");
       } else {
         std::cerr << " gini=" << r.metric("converged_gini");
+      }
+      if (cli.eta && executed > 0) {
+        // Remaining runs are almost all uncached (hits resolve first), so
+        // the mean executed wall time is the right per-run estimate.
+        const double mean_wall = executed_wall / static_cast<double>(executed);
+        const double eta =
+            static_cast<double>(total - done) * mean_wall / workers;
+        std::cerr << " | eta " << static_cast<int>(eta + 0.5) << "s";
       }
       std::cerr << "\n";
     };
@@ -141,33 +272,62 @@ int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
 
   scenario::SweepRunner runner(spec, std::move(sweep), std::move(options));
   scenario::ResultSink sink;
-  sink.add_all(runner.run());
+  auto results = runner.run();
 
-  std::size_t failures = 0;
-  for (const auto& run : sink.runs()) {
-    if (!run.error.empty()) ++failures;
+  if (!cli.cache_dir.empty()) {
+    std::cerr << "[cache] hits=" << runner.cache_hits()
+              << " executed=" << runner.executed() << "\n";
   }
 
-  const std::vector<std::string> metrics = {
-      "converged_gini", "mean_buffer_fill", "exchange_efficiency",
-      "mean_balance",   "bankrupt_fraction"};
-  sink.aggregate_table("sweep results — " + spec.name, metrics).print();
+  if (cli.sharded) {
+    // A shard emits its partial result set as run records — the merge
+    // input — rather than a (misleadingly partial) aggregate.
+    std::ostringstream records;
+    for (const auto& r : results) {
+      records << scenario::serialize_run_record(plan.key(r.run_index), r)
+              << "\n";
+    }
+    const std::string payload = records.str();
+    sink.add_all(std::move(results));
+    return emit_sweep_outputs(sink, "", cli.out, &payload);
+  }
 
-  if (!out_path.empty()) {
-    const std::string payload =
-        json ? sink.aggregate_json() : sink.aggregate_csv();
-    if (!write_file(out_path, payload)) return 2;
-    std::cout << "[out] " << out_path << "\n";
+  sink.add_all(std::move(results));
+  return emit_sweep_outputs(sink, "sweep results — " + spec.name, cli.out);
+}
+
+/// --merge mode: parse shard record files, recombine by run_index, emit the
+/// same outputs a single-process sweep would.
+int run_merge(const std::vector<std::string>& merge_files,
+              const SweepOutputOptions& out) {
+  using namespace creditflow;
+  scenario::ResultSink sink;
+  for (const auto& path : merge_files) {
+    const auto records = scenario::read_run_records(path);
+    std::cerr << "[merge] " << path << ": " << records.size()
+              << " run records\n";
+    for (const auto& record : records) sink.add(record.result);
   }
-  if (!runs_out_path.empty()) {
-    if (!write_file(runs_out_path, sink.runs_csv())) return 2;
-    std::cout << "[runs] " << runs_out_path << "\n";
+  return emit_sweep_outputs(sink, "merged sweep results", out);
+}
+
+/// Parse "I/N" (0-based shard of N); exits via usage() on malformed input.
+void parse_shard(const std::string& text, SweepCliOptions& cli,
+                 const char* argv0) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) usage(argv0);
+  char* end = nullptr;
+  const std::string i_str = text.substr(0, slash);
+  const std::string n_str = text.substr(slash + 1);
+  cli.shard_index = std::strtoull(i_str.c_str(), &end, 10);
+  if (end != i_str.c_str() + i_str.size() || i_str.empty()) usage(argv0);
+  cli.shard_count = std::strtoull(n_str.c_str(), &end, 10);
+  if (end != n_str.c_str() + n_str.size() || n_str.empty()) usage(argv0);
+  if (cli.shard_count == 0 || cli.shard_index >= cli.shard_count) {
+    std::cerr << "--shard wants I/N with I < N, got: " << text << "\n";
+    usage(argv0);
   }
-  if (failures > 0) {
-    std::cerr << failures << " run(s) failed\n";
-    return 2;
-  }
-  return 0;
+  cli.sharded = true;
 }
 
 }  // namespace
@@ -186,11 +346,8 @@ int main(int argc, char** argv) {
   spec.config.snapshot_interval = 125.0;
 
   scenario::SweepSpec sweep;
-  std::size_t jobs = 0;
-  std::string out_path;
-  std::string runs_out_path;
-  bool json = false;
-  bool quiet = false;
+  SweepCliOptions cli;
+  std::vector<std::string> merge_files;
   bool want_chart = false;
   bool print_spec = false;
 
@@ -244,15 +401,24 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_double(next(), argv[0]));
       if (sweep.seeds == 0) usage(argv[0]);
     } else if (arg == "--jobs") {
-      jobs = static_cast<std::size_t>(parse_double(next(), argv[0]));
+      cli.jobs = static_cast<std::size_t>(parse_double(next(), argv[0]));
     } else if (arg == "--out") {
-      out_path = next();
+      cli.out.out_path = next();
     } else if (arg == "--runs-out") {
-      runs_out_path = next();
+      cli.out.runs_out_path = next();
     } else if (arg == "--json") {
-      json = true;
+      cli.out.json = true;
     } else if (arg == "--quiet") {
-      quiet = true;
+      cli.quiet = true;
+    } else if (arg == "--cache-dir") {
+      cli.cache_dir = next();
+    } else if (arg == "--shard") {
+      parse_shard(next(), cli, argv[0]);
+    } else if (arg == "--merge") {
+      merge_files.push_back(next());
+    } else if (arg == "--eta") {
+      cli.eta = true;
+      cli.out.timing_columns = true;
     } else if (arg == "--peers") {
       const double v = parse_double(next(), argv[0]);
       set_param("peers", v);
@@ -316,9 +482,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!sweep.axes.empty() || sweep.seeds > 1) {
-    return run_sweep(spec, std::move(sweep), jobs, out_path, runs_out_path,
-                     json, quiet);
+  if (!merge_files.empty()) {
+    try {
+      return run_merge(merge_files, cli.out);
+    } catch (const util::PreconditionError& e) {
+      std::cerr << e.what() << "\n";  // unreadable/malformed record file
+      return 64;
+    }
+  }
+
+  if (!sweep.axes.empty() || sweep.seeds > 1 || cli.sharded) {
+    return run_sweep(spec, std::move(sweep), cli);
   }
 
   // ---- Single-run mode (the original market_cli behavior). --------------

@@ -170,9 +170,9 @@ class StreamingProtocol {
   [[nodiscard]] const OwnerIndex& owner_index() const { return owner_index_; }
   [[nodiscard]] TransactionTrace& trace() { return trace_; }
   [[nodiscard]] const TransactionTrace& trace() const { return trace_; }
-  /// Mutable for gauge/series writers; do NOT call clear() on it while the
-  /// protocol is live — the hot loop caches counter cells whose pointers
-  /// clear() would invalidate.
+  /// Mutable for gauge/series writers. Safe to clear() while the protocol
+  /// is live: the registry zeroes counter cells in place, so the hot
+  /// loop's cached cell pointers stay valid (counters restart from zero).
   [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
 
   /// Balances of alive peers (order matches alive_peers()).

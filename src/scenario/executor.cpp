@@ -1,0 +1,156 @@
+#include "scenario/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "core/market.hpp"
+#include "econ/gini.hpp"
+#include "util/assert.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+double mean_of(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double RunResult::metric(std::string_view name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<std::pair<std::string, double>> standard_metrics(
+    const core::MarketConfig& cfg, const core::MarketReport& report) {
+  std::vector<std::pair<std::string, double>> m;
+  m.reserve(16);
+  m.emplace_back("converged_gini", report.converged_gini());
+  m.emplace_back("final_gini", report.final_wealth.gini);
+  m.emplace_back("gini_spend",
+                 report.gini_spend_rates.empty()
+                     ? 0.0
+                     : report.gini_spend_rates.tail_mean(0.25));
+  // Windowed (post-warmup) spending-rate inequality — the Fig. 1 readout;
+  // NaN when the run had no rate window.
+  m.emplace_back("gini_windowed_spend",
+                 report.final_windowed_spend_rates.empty()
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : econ::gini(report.final_windowed_spend_rates));
+  m.emplace_back("mean_buffer_fill",
+                 report.mean_buffer_fill.empty()
+                     ? 0.0
+                     : report.mean_buffer_fill.tail_mean(0.25));
+  m.emplace_back("mean_balance", report.final_wealth.mean);
+  m.emplace_back("bankrupt_fraction", report.final_wealth.bankrupt_fraction);
+  m.emplace_back("top10_share", report.final_wealth.top10_share);
+  m.emplace_back("mean_spend_rate", mean_of(report.final_spend_rates));
+  m.emplace_back("mean_download_rate", mean_of(report.final_download_rates));
+
+  // Exchange efficiency: chunk deliveries per peer-second, relative to the
+  // stream rate — the fraction of the stream the average peer obtained
+  // through the market (seeded chunks and stalls account for the rest).
+  const double mean_alive = report.alive_peers.empty()
+                                ? static_cast<double>(
+                                      cfg.protocol.initial_peers)
+                                : mean_of(report.alive_peers.values());
+  const double demand =
+      mean_alive * report.horizon * cfg.protocol.stream_rate;
+  m.emplace_back("exchange_efficiency",
+                 demand > 0.0
+                     ? static_cast<double>(report.transactions) / demand
+                     : 0.0);
+
+  m.emplace_back("transactions", static_cast<double>(report.transactions));
+  m.emplace_back("volume", static_cast<double>(report.volume));
+  m.emplace_back("tax_collected", static_cast<double>(report.tax_collected));
+  m.emplace_back("tax_redistributed",
+                 static_cast<double>(report.tax_redistributed));
+  m.emplace_back("churn_arrivals",
+                 static_cast<double>(report.churn_arrivals));
+  m.emplace_back("churn_departures",
+                 static_cast<double>(report.churn_departures));
+  m.emplace_back("alive_final",
+                 report.alive_peers.empty()
+                     ? static_cast<double>(cfg.protocol.initial_peers)
+                     : report.alive_peers.last_value());
+  m.emplace_back("ledger_conserved", report.ledger_conserved ? 1.0 : 0.0);
+  return m;
+}
+
+void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
+                       bool keep_report) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    result.seed = spec.config.protocol.seed;
+    core::CreditMarket market(spec.materialize());
+    result.report = market.run();
+    result.metrics = standard_metrics(spec.config, result.report);
+    result.telemetry.purchase_phase_seconds =
+        market.protocol().purchase_phase_seconds();
+    result.telemetry.rounds = result.report.rounds;
+    if (!keep_report) result.report = core::MarketReport{};
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.telemetry.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+std::vector<RunResult> ThreadPoolExecutor::execute(
+    const SweepPlan& plan, std::span<const std::size_t> run_indices,
+    const ExecuteOptions& options) {
+  const std::size_t total = run_indices.size();
+  std::vector<RunResult> results(total);
+  if (total == 0) return results;
+
+  std::size_t jobs = options.jobs != 0
+                         ? options.jobs
+                         : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, total);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mutex;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= total) return;
+      const std::size_t run_index = run_indices[slot];
+      RunResult& result = results[slot];
+      result = plan.labelled_result(run_index);
+      try {
+        execute_spec_into(plan.spec(run_index), result,
+                          options.keep_reports);
+      } catch (const std::exception& e) {
+        result.error = e.what();  // instantiate() itself rejected the point
+      }
+      if (options.on_result) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.on_result(result);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();  // in-place: no thread overhead for serial sweeps
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,107 @@
+// CreditFlow scenario engine: Executor — how a SweepPlan's runs get
+// computed.
+//
+// An Executor turns plan entries into RunResults. The in-process
+// ThreadPoolExecutor preserves the engine's determinism contract: results
+// land in slots keyed by position, so the output — and everything
+// aggregated from it — is identical whether a run list executes on 1
+// thread or N, in one process or as shards merged later. Alternative
+// executors (remote workers, a work-stealing coordinator) implement the
+// same interface without the plan or store knowing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/report.hpp"
+#include "scenario/plan.hpp"
+
+namespace creditflow::scenario {
+
+/// Per-run wall-clock telemetry, measured around the simulation by the
+/// executor (or restored from the cache for skipped runs).
+struct RunTelemetry {
+  double wall_seconds = 0.0;            ///< end-to-end run wall time
+  double purchase_phase_seconds = 0.0;  ///< protocol hot-path share of it
+  std::uint64_t rounds = 0;             ///< protocol rounds simulated
+  bool from_cache = false;  ///< true when the run store answered instead
+};
+
+/// Outcome of one run of a sweep.
+struct RunResult {
+  std::size_t run_index = 0;
+  std::size_t point_index = 0;
+  std::size_t seed_index = 0;
+  std::uint64_t seed = 0;  ///< the derived per-run protocol seed
+
+  /// Axis values of this run's grid point, in axis order.
+  std::vector<std::pair<std::string, double>> params;
+  /// Scalar readouts (standard_metrics order): gini, buffer fill, spend
+  /// rates, exchange efficiency, ...
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Wall-time/rounds telemetry of this run.
+  RunTelemetry telemetry;
+  /// Full report (time series, final snapshots); cleared when the executor
+  /// runs with keep_reports = false (and never present on cache hits).
+  core::MarketReport report;
+  /// Non-empty when the run threw; metrics are then empty.
+  std::string error;
+
+  /// Metric by name; NaN when absent.
+  [[nodiscard]] double metric(std::string_view name) const;
+};
+
+/// The scalar readouts extracted from every run, in emission order.
+[[nodiscard]] std::vector<std::pair<std::string, double>> standard_metrics(
+    const core::MarketConfig& cfg, const core::MarketReport& report);
+
+/// Execution knobs shared by every executor.
+struct ExecuteOptions {
+  /// Worker threads; 0 → hardware concurrency. Ignored by executors with
+  /// no local pool.
+  std::size_t jobs = 0;
+  /// Keep each run's full MarketReport (time series + final vectors).
+  /// Disable for huge grids where only the scalar metrics matter.
+  bool keep_reports = true;
+  /// Called after each run completes (from worker threads, serialized —
+  /// safe to print from). Progress reporting only; results are final.
+  std::function<void(const RunResult&)> on_result;
+};
+
+/// Computes plan entries. Implementations must be safe to reuse across
+/// execute() calls and must return results positionally aligned with the
+/// requested indices.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Execute `run_indices` (entries of `plan`); result k is the outcome of
+  /// run_indices[k]. A run that throws yields a RunResult with `error` set
+  /// rather than propagating.
+  [[nodiscard]] virtual std::vector<RunResult> execute(
+      const SweepPlan& plan, std::span<const std::size_t> run_indices,
+      const ExecuteOptions& options) = 0;
+};
+
+/// The default in-process executor: a worker pool over an atomic cursor.
+/// Deterministic by construction — each run is a pure function of the plan
+/// entry, and completion order never influences placement.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  [[nodiscard]] std::vector<RunResult> execute(
+      const SweepPlan& plan, std::span<const std::size_t> run_indices,
+      const ExecuteOptions& options) override;
+};
+
+/// Execute one fully-instantiated spec into a pre-labelled result slot,
+/// capturing errors and telemetry. The shared primitive under every
+/// executor and run_scenario().
+void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
+                       bool keep_report);
+
+}  // namespace creditflow::scenario

@@ -5,29 +5,15 @@
 #include <cstdio>
 #include <sstream>
 
+#include "scenario/store.hpp"  // json_escape
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace creditflow::scenario {
 
 namespace {
 
-/// Deterministic shortest-round-trip rendering: the same double always
-/// yields the same bytes, so sweep outputs diff cleanly across runs and
-/// worker counts.
-std::string format_value(double v) {
-  if (std::isnan(v)) return "nan";
-  char buf[64];
-  // Whole numbers print as integers ("20", not "2e+01").
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-    return buf;
-  }
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
+using util::format_double;
 
 std::string csv_quote(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
@@ -43,20 +29,30 @@ std::string csv_quote(const std::string& s) {
 }  // namespace
 
 void ResultSink::add(RunResult result) {
-  runs_.push_back(std::move(result));
-  // Keep run-index order regardless of insertion order: aggregation and
-  // emission then never depend on completion order.
-  for (std::size_t i = runs_.size(); i > 1; --i) {
-    if (runs_[i - 1].run_index >= runs_[i - 2].run_index) break;
-    std::swap(runs_[i - 1], runs_[i - 2]);
+  // Run-index order is restored lazily (ensure_sorted) so aggregation and
+  // emission never depend on completion order, while adds stay O(1) even
+  // for interleaved shard merges.
+  if (!runs_.empty() && result.run_index < runs_.back().run_index) {
+    sorted_ = false;
   }
+  runs_.push_back(std::move(result));
 }
 
 void ResultSink::add_all(std::vector<RunResult> results) {
   for (auto& r : results) add(std::move(r));
 }
 
+void ResultSink::ensure_sorted() const {
+  if (sorted_) return;
+  std::stable_sort(runs_.begin(), runs_.end(),
+                   [](const RunResult& a, const RunResult& b) {
+                     return a.run_index < b.run_index;
+                   });
+  sorted_ = true;
+}
+
 std::vector<AggregateRow> ResultSink::aggregate() const {
+  ensure_sorted();
   std::vector<AggregateRow> rows;
   for (const RunResult& run : runs_) {
     if (rows.empty() || rows.back().point_index != run.point_index) {
@@ -68,6 +64,7 @@ std::vector<AggregateRow> ResultSink::aggregate() const {
     AggregateRow& row = rows.back();
     if (!run.error.empty()) {
       ++row.failures;
+      row.errors.push_back(run.error);
       continue;
     }
     ++row.seeds;
@@ -121,6 +118,7 @@ std::vector<AggregateRow> ResultSink::aggregate() const {
 }
 
 std::string ResultSink::runs_csv() const {
+  ensure_sorted();
   // Metric columns come from the first successful run (errored runs carry
   // no metrics and are padded to the same width).
   const RunResult* proto = nullptr;
@@ -143,23 +141,29 @@ std::string ResultSink::runs_csv() const {
         out << ',' << csv_quote(name);
       }
     }
-    out << ",error";
+    out << ",error,rounds";
+    if (timing_columns_) out << ",wall_seconds,purchase_phase_seconds";
   }
   out << '\n';
   for (const RunResult& run : runs_) {
     out << run.run_index << ',' << run.point_index << ',' << run.seed_index
         << ',' << run.seed;
     for (const auto& [name, value] : run.params) {
-      out << ',' << format_value(value);
+      out << ',' << format_double(value);
     }
     if (run.error.empty()) {
       for (const auto& [name, value] : run.metrics) {
-        out << ',' << format_value(value);
+        out << ',' << format_double(value);
       }
       out << ',';
     } else {
       for (std::size_t k = 0; k < metric_cols; ++k) out << ',';
       out << ',' << csv_quote(run.error);
+    }
+    out << ',' << run.telemetry.rounds;
+    if (timing_columns_) {
+      out << ',' << format_double(run.telemetry.wall_seconds) << ','
+          << format_double(run.telemetry.purchase_phase_seconds);
     }
     out << '\n';
   }
@@ -196,7 +200,7 @@ std::string ResultSink::aggregate_csv() const {
   for (const AggregateRow& row : rows) {
     out << row.point_index;
     for (const auto& [name, value] : row.params) {
-      out << ',' << format_value(value);
+      out << ',' << format_double(value);
     }
     out << ',' << row.seeds << ',' << row.failures;
     if (row.metrics.empty()) {
@@ -204,8 +208,8 @@ std::string ResultSink::aggregate_csv() const {
       for (std::size_t k = 0; k < cols; ++k) out << ',';
     } else {
       for (const auto& [name, stat] : row.metrics) {
-        out << ',' << format_value(stat.mean) << ','
-            << format_value(stat.stddev) << ',' << format_value(stat.ci95);
+        out << ',' << format_double(stat.mean) << ','
+            << format_double(stat.stddev) << ',' << format_double(stat.ci95);
       }
     }
     out << '\n';
@@ -223,16 +227,21 @@ std::string ResultSink::aggregate_json() const {
     for (std::size_t k = 0; k < row.params.size(); ++k) {
       if (k > 0) out << ", ";
       out << '"' << row.params[k].first
-          << "\": " << format_value(row.params[k].second);
+          << "\": " << format_double(row.params[k].second);
     }
     out << "}, \"seeds\": " << row.seeds
-        << ", \"failures\": " << row.failures << ", \"metrics\": {";
+        << ", \"failures\": " << row.failures << ", \"errors\": [";
+    for (std::size_t k = 0; k < row.errors.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << '"' << json_escape(row.errors[k]) << '"';
+    }
+    out << "], \"metrics\": {";
     for (std::size_t k = 0; k < row.metrics.size(); ++k) {
       const auto& [name, stat] = row.metrics[k];
       if (k > 0) out << ", ";
       // NaN (e.g. a windowed metric with no rate window) → JSON null.
       const auto number = [](double v) {
-        const std::string s = format_value(v);
+        const std::string s = format_double(v);
         return s == "nan" ? std::string("null") : s;
       };
       out << '"' << name << "\": {\"mean\": " << number(stat.mean)

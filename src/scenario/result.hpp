@@ -31,6 +31,10 @@ struct AggregateRow {
   std::size_t seeds = 0;     ///< successful runs aggregated
   std::size_t failures = 0;  ///< runs that errored (excluded from stats)
   std::vector<std::pair<std::string, MetricStat>> metrics;
+  /// Error messages of the failed runs, in run order (one per failure) —
+  /// surfaced so a failed grid point explains itself instead of just
+  /// counting.
+  std::vector<std::string> errors;
 };
 
 /// Collects RunResults and renders aggregates.
@@ -40,12 +44,24 @@ class ResultSink {
   void add_all(std::vector<RunResult> results);
 
   [[nodiscard]] std::size_t size() const { return runs_.size(); }
-  [[nodiscard]] const std::vector<RunResult>& runs() const { return runs_; }
+  /// The collected runs, in run-index order (re-sorted lazily on read, so
+  /// interleaved shard merges cost one O(n log n) sort, not per-add work).
+  [[nodiscard]] const std::vector<RunResult>& runs() const {
+    ensure_sorted();
+    return runs_;
+  }
+
+  /// Include wall-clock telemetry columns (wall_seconds,
+  /// purchase_phase_seconds) in runs_csv(). Off by default: timing is
+  /// machine-dependent, and the default emission stays byte-reproducible
+  /// across reruns, worker counts, and shard merges.
+  void set_timing_columns(bool enabled) { timing_columns_ = enabled; }
 
   /// Per-grid-point aggregation, ordered by point index.
   [[nodiscard]] std::vector<AggregateRow> aggregate() const;
 
-  /// Raw per-run CSV: run metadata + axis values + every metric.
+  /// Raw per-run CSV: run metadata + axis values + every metric + rounds
+  /// (and, with set_timing_columns(true), per-run wall-time telemetry).
   [[nodiscard]] std::string runs_csv() const;
   /// Aggregated CSV: axis values + seeds + {metric}_mean/_sd/_ci95 columns.
   [[nodiscard]] std::string aggregate_csv() const;
@@ -57,7 +73,13 @@ class ResultSink {
       std::span<const std::string> metric_names) const;
 
  private:
-  std::vector<RunResult> runs_;
+  void ensure_sorted() const;
+
+  // Mutable so the const renderings can restore run-index order lazily;
+  // logically the sink always *is* sorted, the flag just defers the work.
+  mutable std::vector<RunResult> runs_;
+  mutable bool sorted_ = true;
+  bool timing_columns_ = false;
 };
 
 }  // namespace creditflow::scenario

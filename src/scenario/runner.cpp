@@ -1,52 +1,13 @@
 #include "scenario/runner.hpp"
 
-#include <atomic>
-#include <cmath>
-#include <limits>
-#include <mutex>
-#include <numeric>
-#include <thread>
+#include <algorithm>
+#include <optional>
+#include <utility>
 
-#include "core/market.hpp"
-#include "econ/gini.hpp"
+#include "scenario/store.hpp"
 #include "util/assert.hpp"
 
 namespace creditflow::scenario {
-
-namespace {
-
-double mean_of(std::span<const double> v) {
-  if (v.empty()) return 0.0;
-  return std::accumulate(v.begin(), v.end(), 0.0) /
-         static_cast<double>(v.size());
-}
-
-}  // namespace
-
-double RunResult::metric(std::string_view name) const {
-  for (const auto& [key, value] : metrics) {
-    if (key == name) return value;
-  }
-  return std::numeric_limits<double>::quiet_NaN();
-}
-
-namespace {
-
-/// Execute one fully-instantiated spec into a pre-labelled result slot.
-void execute_into(const ScenarioSpec& spec, RunResult& result,
-                  bool keep_report) {
-  try {
-    result.seed = spec.config.protocol.seed;
-    core::CreditMarket market(spec.materialize());
-    result.report = market.run();
-    result.metrics = SweepRunner::standard_metrics(spec.config, result.report);
-    if (!keep_report) result.report = core::MarketReport{};
-  } catch (const std::exception& e) {
-    result.error = e.what();
-  }
-}
-
-}  // namespace
 
 SweepRunner::SweepRunner(ScenarioSpec base, SweepSpec sweep)
     : SweepRunner(std::move(base), std::move(sweep), Options()) {}
@@ -56,119 +17,80 @@ SweepRunner::SweepRunner(ScenarioSpec base, SweepSpec sweep, Options options)
       sweep_(std::move(sweep)),
       options_(std::move(options)) {
   CF_EXPECTS(sweep_.seeds >= 1);
-}
-
-std::vector<std::pair<std::string, double>> SweepRunner::standard_metrics(
-    const core::MarketConfig& cfg, const core::MarketReport& report) {
-  std::vector<std::pair<std::string, double>> m;
-  m.reserve(16);
-  m.emplace_back("converged_gini", report.converged_gini());
-  m.emplace_back("final_gini", report.final_wealth.gini);
-  m.emplace_back("gini_spend",
-                 report.gini_spend_rates.empty()
-                     ? 0.0
-                     : report.gini_spend_rates.tail_mean(0.25));
-  // Windowed (post-warmup) spending-rate inequality — the Fig. 1 readout;
-  // NaN when the run had no rate window.
-  m.emplace_back("gini_windowed_spend",
-                 report.final_windowed_spend_rates.empty()
-                     ? std::numeric_limits<double>::quiet_NaN()
-                     : econ::gini(report.final_windowed_spend_rates));
-  m.emplace_back("mean_buffer_fill",
-                 report.mean_buffer_fill.empty()
-                     ? 0.0
-                     : report.mean_buffer_fill.tail_mean(0.25));
-  m.emplace_back("mean_balance", report.final_wealth.mean);
-  m.emplace_back("bankrupt_fraction", report.final_wealth.bankrupt_fraction);
-  m.emplace_back("top10_share", report.final_wealth.top10_share);
-  m.emplace_back("mean_spend_rate", mean_of(report.final_spend_rates));
-  m.emplace_back("mean_download_rate", mean_of(report.final_download_rates));
-
-  // Exchange efficiency: chunk deliveries per peer-second, relative to the
-  // stream rate — the fraction of the stream the average peer obtained
-  // through the market (seeded chunks and stalls account for the rest).
-  const double mean_alive = report.alive_peers.empty()
-                                ? static_cast<double>(
-                                      cfg.protocol.initial_peers)
-                                : mean_of(report.alive_peers.values());
-  const double demand =
-      mean_alive * report.horizon * cfg.protocol.stream_rate;
-  m.emplace_back("exchange_efficiency",
-                 demand > 0.0
-                     ? static_cast<double>(report.transactions) / demand
-                     : 0.0);
-
-  m.emplace_back("transactions", static_cast<double>(report.transactions));
-  m.emplace_back("volume", static_cast<double>(report.volume));
-  m.emplace_back("tax_collected", static_cast<double>(report.tax_collected));
-  m.emplace_back("tax_redistributed",
-                 static_cast<double>(report.tax_redistributed));
-  m.emplace_back("churn_arrivals",
-                 static_cast<double>(report.churn_arrivals));
-  m.emplace_back("churn_departures",
-                 static_cast<double>(report.churn_departures));
-  m.emplace_back("alive_final",
-                 report.alive_peers.empty()
-                     ? static_cast<double>(cfg.protocol.initial_peers)
-                     : report.alive_peers.last_value());
-  m.emplace_back("ledger_conserved", report.ledger_conserved ? 1.0 : 0.0);
-  return m;
-}
-
-RunResult SweepRunner::execute_one(std::size_t run_index) const {
-  RunResult result;
-  result.run_index = run_index;
-  result.point_index = run_index / sweep_.seeds;
-  result.seed_index = run_index % sweep_.seeds;
-
-  const auto values = sweep_.point(result.point_index);
-  for (std::size_t k = 0; k < sweep_.axes.size(); ++k) {
-    result.params.emplace_back(sweep_.axes[k].param, values[k]);
-  }
-
-  try {
-    execute_into(sweep_.instantiate(base_, run_index), result,
-                 options_.keep_reports);
-  } catch (const std::exception& e) {
-    result.error = e.what();  // instantiate() itself rejected the point
-  }
-  return result;
+  CF_EXPECTS(options_.shard_count >= 1);
+  CF_EXPECTS_MSG(options_.shard_index < options_.shard_count,
+                 "shard index must be < shard count");
+  CF_EXPECTS_MSG(options_.cache_dir.empty() || !options_.keep_reports,
+                 "the run cache stores metrics only; caching a sweep "
+                 "requires keep_reports = false");
 }
 
 std::vector<RunResult> SweepRunner::run() {
   CF_EXPECTS_MSG(!ran_, "SweepRunner::run may only be called once");
   ran_ = true;
 
-  const std::size_t total = sweep_.num_runs();
-  std::vector<RunResult> results(total);
-  if (total == 0) return results;
+  const SweepPlan plan(base_, sweep_);
+  const std::vector<std::size_t> indices =
+      options_.shard_count > 1
+          ? plan.shard(options_.shard_index, options_.shard_count)
+          : plan.all_runs();
 
-  std::size_t jobs = options_.jobs != 0
-                         ? options_.jobs
-                         : std::max(1u, std::thread::hardware_concurrency());
-  jobs = std::min(jobs, total);
+  std::optional<RunStore> store;
+  if (!options_.cache_dir.empty()) store.emplace(options_.cache_dir);
 
-  std::atomic<std::size_t> next{0};
-  std::mutex progress_mutex;
-  auto worker = [&] {
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= total) return;
-      results[index] = execute_one(index);
-      if (options_.on_result) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        options_.on_result(results[index]);
-      }
+  // Resolve cache hits first (they complete "instantly" — the progress
+  // callback sees them before any fresh run), collecting the misses for
+  // the executor.
+  std::vector<RunResult> results;
+  results.reserve(indices.size());
+  std::vector<std::size_t> misses;
+  std::vector<std::size_t> miss_slots;  // position of each miss in results
+  std::vector<RunKey> miss_keys;        // their keys, for the post-run put
+  for (const std::size_t run_index : indices) {
+    RunKey key;
+    const RunResult* cached = nullptr;
+    if (store) {
+      key = plan.key(run_index);
+      cached = store->find(key);
     }
-  };
+    if (cached != nullptr) {
+      // Re-label with the *current* plan's metadata: after a grid widens,
+      // the cached run's indices may no longer match, but its key — and
+      // therefore its metrics, seed, and telemetry — still do.
+      RunResult hit = plan.labelled_result(run_index);
+      hit.seed = cached->seed;
+      hit.metrics = cached->metrics;
+      hit.telemetry = cached->telemetry;
+      hit.telemetry.from_cache = true;
+      hit.error = cached->error;
+      ++cache_hits_;
+      if (options_.on_result) options_.on_result(hit);
+      results.push_back(std::move(hit));
+    } else {
+      misses.push_back(run_index);
+      miss_slots.push_back(results.size());
+      if (store) miss_keys.push_back(key);
+      results.emplace_back();  // placeholder, filled below
+    }
+  }
 
-  if (jobs == 1) {
-    worker();  // in-place: no thread overhead for serial sweeps
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+  ExecuteOptions exec_options;
+  exec_options.jobs = options_.jobs;
+  exec_options.keep_reports = options_.keep_reports;
+  exec_options.on_result = options_.on_result;
+
+  ThreadPoolExecutor default_executor;
+  Executor& executor =
+      options_.executor != nullptr ? *options_.executor : default_executor;
+  std::vector<RunResult> fresh = executor.execute(plan, misses, exec_options);
+  CF_ENSURES_MSG(fresh.size() == misses.size(),
+                 "executor returned a result count that does not match the "
+                 "requested run list");
+  executed_ = fresh.size();
+
+  for (std::size_t k = 0; k < fresh.size(); ++k) {
+    if (store) store->put(miss_keys[k], fresh[k]);
+    results[miss_slots[k]] = std::move(fresh[k]);
   }
   return results;
 }
@@ -179,7 +101,7 @@ RunResult run_scenario(const ScenarioSpec& spec) {
   // mode, and in a direct CreditMarket construction. Only sweep
   // replications derive per-run seeds.
   RunResult result;
-  execute_into(spec, result, /*keep_report=*/true);
+  execute_spec_into(spec, result, /*keep_report=*/true);
   return result;
 }
 

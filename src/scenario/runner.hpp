@@ -1,48 +1,34 @@
-// CreditFlow scenario engine: the parallel multi-seed sweep runner.
+// CreditFlow scenario engine: SweepRunner — the facade over the sweep
+// execution API.
 //
-// Expands (base spec × sweep grid × seeds) into a run list and executes it
-// on a worker pool. Each run is an independent CreditMarket with its own
-// derived RNG stream; results land in a pre-sized vector slot keyed by run
-// index, so the output — and everything aggregated from it — is identical
-// whether the sweep executes on 1 thread or N.
+// The API splits into three composable pieces: SweepPlan (plan.hpp) — the
+// pure enumerable run list with content-addressed RunKeys; Executor
+// (executor.hpp) — how runs get computed (in-process thread pool by
+// default); and RunStore (store.hpp) — the on-disk cache consulted before
+// executing and appended to after. SweepRunner wires them together:
+//
+//   plan runs → partition (optional shard i/N) → cache lookup →
+//   execute the misses → persist fresh results → merge by run_index
+//
+// so re-running a grid after adding axes or seeds only computes the keys
+// the store has not seen, and a run list split across processes merges
+// back into byte-identical output. Existing callers keep compiling: the
+// (base, sweep[, options]) constructor and run() behave exactly as the
+// pre-split monolithic runner did when no cache/shard option is set.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
-#include <string_view>
-#include <utility>
 #include <vector>
 
-#include "core/report.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/plan.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep.hpp"
 
 namespace creditflow::scenario {
 
-/// Outcome of one run of a sweep.
-struct RunResult {
-  std::size_t run_index = 0;
-  std::size_t point_index = 0;
-  std::size_t seed_index = 0;
-  std::uint64_t seed = 0;  ///< the derived per-run protocol seed
-
-  /// Axis values of this run's grid point, in axis order.
-  std::vector<std::pair<std::string, double>> params;
-  /// Scalar readouts (standard_metrics order): gini, buffer fill, spend
-  /// rates, exchange efficiency, ...
-  std::vector<std::pair<std::string, double>> metrics;
-  /// Full report (time series, final snapshots); cleared when the runner
-  /// is configured with keep_reports = false.
-  core::MarketReport report;
-  /// Non-empty when the run threw; metrics are then empty.
-  std::string error;
-
-  /// Metric by name; NaN when absent.
-  [[nodiscard]] double metric(std::string_view name) const;
-};
-
-/// Executes a sweep over a thread pool.
+/// Executes a sweep: plan + executor + store composition.
 class SweepRunner {
  public:
   struct Options {
@@ -52,31 +38,56 @@ class SweepRunner {
     /// Disable for huge grids where only the scalar metrics matter.
     bool keep_reports = true;
     /// Called after each run completes (from worker threads, serialized —
-    /// safe to print from). Progress reporting only; results are final.
+    /// safe to print from) and for each cache hit (telemetry.from_cache).
+    /// Progress reporting only; results are final.
     std::function<void(const RunResult&)> on_result;
+
+    /// Content-addressed run cache directory; empty disables caching.
+    /// Runs already in the store are not re-executed. Requires
+    /// keep_reports == false: the store holds scalar metrics + telemetry,
+    /// never full reports.
+    std::string cache_dir;
+
+    /// Execute only shard shard_index of shard_count (strided partition of
+    /// the run list; see SweepPlan::shard). The returned results cover just
+    /// that shard; partial sets from all shards merged by run_index
+    /// reproduce the single-process output byte for byte.
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
+
+    /// Executor override (not owned; must outlive the runner). nullptr →
+    /// the built-in in-process ThreadPoolExecutor.
+    Executor* executor = nullptr;
   };
 
   SweepRunner(ScenarioSpec base, SweepSpec sweep);
   SweepRunner(ScenarioSpec base, SweepSpec sweep, Options options);
 
-  /// Execute every run; returns results indexed by run_index. Callable
-  /// once per instance.
+  /// Execute (or recall from cache) every run of this runner's shard;
+  /// returns results ordered by run_index. Callable once per instance.
   [[nodiscard]] std::vector<RunResult> run();
+
+  /// Runs answered by the cache / freshly executed in the last run().
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::size_t executed() const { return executed_; }
 
   [[nodiscard]] const ScenarioSpec& base() const { return base_; }
   [[nodiscard]] const SweepSpec& sweep() const { return sweep_; }
 
-  /// The scalar readouts extracted from every run, in emission order.
+  /// Deprecated shim for the pre-split API; use the free
+  /// scenario::standard_metrics (executor.hpp) instead.
   [[nodiscard]] static std::vector<std::pair<std::string, double>>
   standard_metrics(const core::MarketConfig& cfg,
-                   const core::MarketReport& report);
+                   const core::MarketReport& report) {
+    return scenario::standard_metrics(cfg, report);
+  }
 
  private:
-  RunResult execute_one(std::size_t run_index) const;
-
   ScenarioSpec base_;
   SweepSpec sweep_;
   Options options_;
+  std::size_t cache_hits_ = 0;
+  std::size_t executed_ = 0;
   bool ran_ = false;
 };
 

@@ -1,32 +1,15 @@
 #include "scenario/spec.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "scenario/params.hpp"
 #include "util/assert.hpp"
+#include "util/math.hpp"
 
 namespace creditflow::scenario {
 
 namespace {
-
-/// Shortest decimal form that round-trips the exact double (%.17g would
-/// too, but prints 0.1 as 0.10000000000000001).
-std::string format_value(double v) {
-  char buf[64];
-  // Whole numbers print as integers ("20", not "2e+01").
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-    return buf;
-  }
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
 
 std::string_view trim(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
@@ -70,9 +53,9 @@ std::string ScenarioSpec::serialize() const {
     std::string line;
     while (std::getline(lines, line)) out << "# " << line << "\n";
   }
-  out << "warmup = " << format_value(warmup_fraction) << "\n";
+  out << "warmup = " << util::format_double(warmup_fraction) << "\n";
   for (const auto& desc : param_table()) {
-    out << desc.key << " = " << format_value(desc.get(config)) << "\n";
+    out << desc.key << " = " << util::format_double(desc.get(config)) << "\n";
   }
   return out.str();
 }

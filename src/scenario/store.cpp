@@ -1,0 +1,284 @@
+#include "scenario/store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace creditflow::scenario {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor parser for the record grammar this file emits: objects
+/// of string keys mapping to numbers, strings, or nested objects. Not a
+/// general JSON parser — exactly the subset serialize_run_record writes.
+class RecordParser {
+ public:
+  explicit RecordParser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    CF_EXPECTS_MSG(pos_ < text_.size() && text_[pos_] == c,
+                   "run record: expected '" + std::string(1, c) +
+                       "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      CF_EXPECTS_MSG(pos_ < text_.size(), "run record: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      CF_EXPECTS_MSG(pos_ < text_.size(), "run record: dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          CF_EXPECTS_MSG(pos_ + 4 <= text_.size(),
+                         "run record: short \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          CF_EXPECTS_MSG(hex.find_first_not_of("0123456789abcdefABCDEF") ==
+                             std::string::npos,
+                         "run record: non-hex \\u escape");
+          pos_ += 4;
+          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default:
+          CF_EXPECTS_MSG(false, "run record: unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    CF_EXPECTS_MSG(end != begin, "run record: expected a number at offset " +
+                                     std::to_string(pos_));
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t parse_u64() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(begin, &end, 10);
+    CF_EXPECTS_MSG(end != begin, "run record: expected an integer at offset " +
+                                     std::to_string(pos_));
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  /// {"k": number, ...} in emission order.
+  [[nodiscard]] std::vector<std::pair<std::string, double>>
+  parse_number_object() {
+    std::vector<std::pair<std::string, double>> out;
+    expect('{');
+    if (consume('}')) return out;
+    do {
+      std::string key = parse_string();
+      expect(':');
+      out.emplace_back(std::move(key), parse_number());
+    } while (consume(','));
+    expect('}');
+    return out;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_number_object(
+    std::ostringstream& out,
+    const std::vector<std::pair<std::string, double>>& entries) {
+  out << '{';
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << json_escape(entries[i].first)
+        << "\":" << util::format_double(entries[i].second);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string serialize_run_record(const RunKey& key, const RunResult& r) {
+  std::ostringstream out;
+  out << "{\"key\":\"" << key.hex() << "\",\"run_index\":" << r.run_index
+      << ",\"point_index\":" << r.point_index
+      << ",\"seed_index\":" << r.seed_index << ",\"seed\":" << r.seed
+      << ",\"params\":";
+  append_number_object(out, r.params);
+  out << ",\"metrics\":";
+  append_number_object(out, r.metrics);
+  out << ",\"telemetry\":{\"wall_seconds\":"
+      << util::format_double(r.telemetry.wall_seconds)
+      << ",\"purchase_phase_seconds\":"
+      << util::format_double(r.telemetry.purchase_phase_seconds)
+      << ",\"rounds\":" << r.telemetry.rounds << "},\"error\":\""
+      << json_escape(r.error) << "\"}";
+  return out.str();
+}
+
+RunRecord parse_run_record(const std::string& line) {
+  RecordParser p(line);
+  RunRecord record;
+  p.expect('{');
+  bool first = true;
+  while (true) {
+    if (first ? p.consume('}') : !p.consume(',')) break;
+    first = false;
+    const std::string field = p.parse_string();
+    p.expect(':');
+    if (field == "key") {
+      const auto key = RunKey::from_hex(p.parse_string());
+      CF_EXPECTS_MSG(key.has_value(), "run record: malformed key");
+      record.key = *key;
+    } else if (field == "run_index") {
+      record.result.run_index = static_cast<std::size_t>(p.parse_u64());
+    } else if (field == "point_index") {
+      record.result.point_index = static_cast<std::size_t>(p.parse_u64());
+    } else if (field == "seed_index") {
+      record.result.seed_index = static_cast<std::size_t>(p.parse_u64());
+    } else if (field == "seed") {
+      record.result.seed = p.parse_u64();
+    } else if (field == "params") {
+      record.result.params = p.parse_number_object();
+    } else if (field == "metrics") {
+      record.result.metrics = p.parse_number_object();
+    } else if (field == "telemetry") {
+      p.expect('{');
+      bool t_first = true;
+      while (true) {
+        if (t_first ? p.consume('}') : !p.consume(',')) break;
+        t_first = false;
+        const std::string t_field = p.parse_string();
+        p.expect(':');
+        if (t_field == "wall_seconds") {
+          record.result.telemetry.wall_seconds = p.parse_number();
+        } else if (t_field == "purchase_phase_seconds") {
+          record.result.telemetry.purchase_phase_seconds = p.parse_number();
+        } else if (t_field == "rounds") {
+          record.result.telemetry.rounds = p.parse_u64();
+        } else {
+          CF_EXPECTS_MSG(false, "run record: unknown telemetry field " +
+                                    t_field);
+        }
+      }
+      if (!t_first) p.expect('}');
+    } else if (field == "error") {
+      record.result.error = p.parse_string();
+    } else {
+      CF_EXPECTS_MSG(false, "run record: unknown field " + field);
+    }
+  }
+  if (!first) p.expect('}');
+  return record;
+}
+
+std::vector<RunRecord> read_run_records(const std::string& path) {
+  std::ifstream in(path);
+  CF_EXPECTS_MSG(in.good(), "cannot read run records from " + path);
+  std::vector<RunRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    records.push_back(parse_run_record(line));
+  }
+  return records;
+}
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
+  CF_EXPECTS_MSG(!dir_.empty(), "run store directory must be non-empty");
+  std::filesystem::create_directories(dir_);
+  path_ = (std::filesystem::path(dir_) / "runs.jsonl").string();
+  if (std::filesystem::exists(path_)) {
+    for (auto& record : read_run_records(path_)) {
+      // First write wins: concurrent shards may append the same key; every
+      // copy of a key carries identical bytes, so either choice agrees.
+      entries_.emplace(record.key, std::move(record.result));
+    }
+  }
+}
+
+const RunResult* RunStore::find(const RunKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void RunStore::put(const RunKey& key, const RunResult& result) {
+  if (!result.error.empty()) return;
+  if (entries_.find(key) != entries_.end()) return;
+
+  if (!append_.is_open()) {
+    append_.open(path_, std::ios::app);
+    CF_EXPECTS_MSG(append_.good(), "cannot append to run store " + path_);
+  }
+  append_ << serialize_run_record(key, result) << '\n';
+  append_.flush();
+  CF_EXPECTS_MSG(append_.good(), "failed writing run store " + path_);
+
+  RunResult stored = result;
+  stored.report = core::MarketReport{};  // the store never holds reports
+  entries_.emplace(key, std::move(stored));
+}
+
+}  // namespace creditflow::scenario

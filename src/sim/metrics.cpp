@@ -53,7 +53,9 @@ std::vector<std::string> MetricsRegistry::series_names() const {
 }
 
 void MetricsRegistry::clear() {
-  counters_.clear();
+  // Counter nodes are kept (values zeroed) so cached counter_cell pointers
+  // survive a clear; see counter_cell's lifetime contract.
+  for (auto& [name, value] : counters_) value = 0;
   gauges_.clear();
   series_.clear();
 }

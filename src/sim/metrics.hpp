@@ -23,8 +23,10 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t counter(const std::string& name) const;
 
   /// Stable pointer to a counter's cell (created zeroed on first use).
-  /// std::map nodes don't move, so the pointer stays valid until clear();
-  /// hot loops cache it to skip the per-increment name lookup (and the
+  /// Counter cells live as long as the registry itself: std::map nodes
+  /// don't move, and clear() resets counter values in place instead of
+  /// deallocating the nodes, so a cached cell pointer can never dangle.
+  /// Hot loops cache it to skip the per-increment name lookup (and the
   /// std::string construction that goes with it).
   [[nodiscard]] std::uint64_t* counter_cell(const std::string& name);
 
@@ -36,6 +38,9 @@ class MetricsRegistry {
   [[nodiscard]] bool has_series(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> series_names() const;
 
+  /// Reset everything: counters are zeroed *in place* (their cells — and
+  /// any cached counter_cell pointers — stay valid), gauges and series are
+  /// removed.
   void clear();
 
  private:

@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/assert.hpp"
 
 namespace creditflow::util {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 double log_add_exp(double a, double b) {
   if (a == kNegInf) return b;

@@ -8,12 +8,20 @@
 #include <functional>
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace creditflow::util {
 
 inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 inline constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+/// Deterministic shortest decimal form that round-trips the exact double:
+/// the same value always yields the same bytes, whole numbers print as
+/// integers ("20", not "2e+01"), NaN prints as "nan". Shared by scenario
+/// serialization, sweep CSV/JSON emission, and the run-store cache, whose
+/// byte-identical-output contracts all rest on this one rendering.
+[[nodiscard]] std::string format_double(double v);
 
 /// log(exp(a) + exp(b)) without overflow; handles -inf identities.
 [[nodiscard]] double log_add_exp(double a, double b);

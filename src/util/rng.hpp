@@ -8,11 +8,28 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "util/assert.hpp"
 
 namespace creditflow::util {
+
+/// FNV-1a over an arbitrary byte string. The default basis is the standard
+/// 64-bit offset; passing another basis yields an independent hash of the
+/// same bytes (the scenario cache combines two to form a 128-bit run key).
+/// Pure and stateless: the same bytes hash identically across processes and
+/// platforms, which is what lets content-addressed cache entries survive
+/// restarts.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view bytes, std::uint64_t basis = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = basis;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// SplitMix64 stream; used to expand seeds and derive independent substreams.
 class SplitMix64 {

@@ -173,5 +173,26 @@ TEST(Metrics, ClearResetsEverything) {
   EXPECT_FALSE(m.has_series("s"));
 }
 
+// Regression: hot loops cache counter_cell pointers across the registry's
+// lifetime; clear() must zero the cells in place, never deallocate them
+// (the old clear() dropped the map nodes, leaving cached pointers
+// dangling — writes through them were a use-after-free that only a
+// sanitizer would notice).
+TEST(Metrics, CounterCellsSurviveClear) {
+  MetricsRegistry m;
+  std::uint64_t* cell = m.counter_cell("hot.counter");
+  *cell += 7;
+  EXPECT_EQ(m.counter("hot.counter"), 7u);
+
+  m.clear();
+  EXPECT_EQ(m.counter("hot.counter"), 0u);
+  // The same cell is still the counter's storage: writes through the old
+  // pointer stay visible to name-based reads, and the registry hands back
+  // the identical address.
+  *cell += 3;
+  EXPECT_EQ(m.counter("hot.counter"), 3u);
+  EXPECT_EQ(m.counter_cell("hot.counter"), cell);
+}
+
 }  // namespace
 }  // namespace creditflow::sim

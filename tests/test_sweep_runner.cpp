@@ -158,6 +158,16 @@ TEST(SweepRunner, InvalidConfigIsCapturedNotThrown) {
   const std::vector<std::string> cols = {"converged_gini"};
   const auto table = sink.aggregate_table("with failure", cols);
   EXPECT_EQ(table.rows(), 2u);
+
+  // The failed point's error message is carried into the aggregate — both
+  // the struct and the JSON rendering — not just counted.
+  ASSERT_EQ(rows[0].errors.size(), 1u);
+  EXPECT_EQ(rows[0].errors[0], results[0].error);
+  EXPECT_TRUE(rows[1].errors.empty());
+  const std::string json = sink.aggregate_json();
+  EXPECT_NE(json.find("\"errors\": [\""), std::string::npos);
+  // The message itself appears (JSON-escaped) in the emitted document.
+  EXPECT_NE(json.find("initial_peers"), std::string::npos) << json;
 }
 
 TEST(SweepRunner, KeepReportsFalseDropsTimeSeries) {
