@@ -272,6 +272,10 @@ int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
 
   scenario::SweepRunner runner(spec, std::move(sweep), std::move(options));
   scenario::ResultSink sink;
+  // Every grid point receives exactly `seeds` runs, so the sink can stream:
+  // each point folds down to its statistics (and frees its per-run buffer)
+  // the moment its last replication lands.
+  sink.set_expected_replications(runner.sweep().seeds);
   auto results = runner.run();
 
   if (!cli.cache_dir.empty()) {

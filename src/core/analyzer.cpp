@@ -42,11 +42,12 @@ void analyze_finite_network(SustainabilityVerdict& verdict,
     util::Rng rng(opts.seed);
     double acc = 0.0;
     std::vector<double> wealth(n);
+    std::vector<double> gini_scratch;
     for (std::size_t s = 0; s < opts.gini_samples; ++s) {
       const auto draw = network.sample_joint(rng);
       for (std::size_t i = 0; i < n; ++i)
         wealth[i] = static_cast<double>(draw[i]);
-      acc += econ::gini(wealth);
+      acc += econ::gini(wealth, gini_scratch);
     }
     verdict.predicted_gini = acc / static_cast<double>(opts.gini_samples);
   } else {

@@ -19,7 +19,8 @@ CreditMarket::CreditMarket(MarketConfig config) : cfg_(std::move(config)) {
 }
 
 void CreditMarket::take_snapshot(double t, MarketReport& report) {
-  const auto balances = protocol_->balance_snapshot();
+  std::vector<double>& balances = snapshot_balances_;
+  protocol_->balance_snapshot(balances);
   if (balances.empty()) return;
 
   const double total =
@@ -27,13 +28,15 @@ void CreditMarket::take_snapshot(double t, MarketReport& report) {
   report.mean_balance.add(t, total / static_cast<double>(balances.size()));
   report.alive_peers.add(t, static_cast<double>(balances.size()));
   report.mean_buffer_fill.add(t, protocol_->mean_buffer_fill());
-  report.gini_balances.add(t, total > 0.0 ? econ::gini(balances) : 0.0);
+  report.gini_balances.add(
+      t, total > 0.0 ? econ::gini(balances, gini_scratch_) : 0.0);
 
-  const auto rates = protocol_->spend_rate_snapshot();
+  std::vector<double>& rates = snapshot_rates_;
+  protocol_->spend_rate_snapshot(rates);
   const double rate_total =
       std::accumulate(rates.begin(), rates.end(), 0.0);
-  report.gini_spend_rates.add(t,
-                              rate_total > 0.0 ? econ::gini(rates) : 0.0);
+  report.gini_spend_rates.add(
+      t, rate_total > 0.0 ? econ::gini(rates, gini_scratch_) : 0.0);
 
   if (cfg_.audit_every_snapshot) {
     CF_ENSURES_MSG(protocol_->ledger().audit(),

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/mapping.hpp"
 #include "core/report.hpp"
@@ -58,6 +59,11 @@ class CreditMarket {
   MarketConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<p2p::StreamingProtocol> protocol_;
+  // Periodic-snapshot scratch, reused across samples so the metrics cadence
+  // allocates nothing once the buffers have warmed up.
+  std::vector<double> snapshot_balances_;
+  std::vector<double> snapshot_rates_;
+  std::vector<double> gini_scratch_;
   bool ran_ = false;
 };
 

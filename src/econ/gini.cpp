@@ -8,9 +8,13 @@
 
 namespace creditflow::econ {
 
-double gini(std::span<const double> wealth) {
-  CF_EXPECTS(!wealth.empty());
-  std::vector<double> sorted(wealth.begin(), wealth.end());
+namespace {
+
+/// Shared kernel: sorts `sorted` in place and evaluates the order-statistic
+/// formula. Both public flavors funnel here so their results are
+/// bit-identical by construction.
+double gini_inplace(std::vector<double>& sorted) {
+  CF_EXPECTS(!sorted.empty());
   double total = 0.0;
   for (double w : sorted) {
     CF_EXPECTS_MSG(w >= 0.0, "wealth values must be non-negative");
@@ -24,6 +28,18 @@ double gini(std::span<const double> wealth) {
     weighted += (2.0 * static_cast<double>(k + 1) - n - 1.0) * sorted[k];
   }
   return std::clamp(weighted / (n * total), 0.0, 1.0);
+}
+
+}  // namespace
+
+double gini(std::span<const double> wealth) {
+  std::vector<double> sorted(wealth.begin(), wealth.end());
+  return gini_inplace(sorted);
+}
+
+double gini(std::span<const double> wealth, std::vector<double>& scratch) {
+  scratch.assign(wealth.begin(), wealth.end());
+  return gini_inplace(scratch);
 }
 
 double gini_from_pmf(std::span<const double> pmf) {

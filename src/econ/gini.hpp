@@ -3,6 +3,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 namespace creditflow::econ {
 
@@ -12,6 +13,12 @@ namespace creditflow::econ {
 /// Requires a positive total. A sample of identical values gives 0; a sample
 /// with a single owner gives (n-1)/n.
 [[nodiscard]] double gini(std::span<const double> wealth);
+
+/// Scratch-reusing flavor: the sample is copied into `scratch` and sorted
+/// there, so periodic sampling performs no allocation once the buffer has
+/// warmed up. Result is bit-identical to gini(wealth).
+[[nodiscard]] double gini(std::span<const double> wealth,
+                          std::vector<double>& scratch);
 
 /// Gini index of a wealth *distribution* with PMF over {0,1,2,...}:
 ///   G = E|X - Y| / (2 E X)   for i.i.d. X, Y ~ pmf.

@@ -29,31 +29,39 @@ double LorenzCurve::share_at(double x) const {
 }
 
 LorenzCurve lorenz_from_samples(std::span<const double> wealth) {
+  LorenzCurve curve;
+  std::vector<double> scratch;
+  lorenz_from_samples(wealth, scratch, curve);
+  return curve;
+}
+
+void lorenz_from_samples(std::span<const double> wealth,
+                         std::vector<double>& scratch, LorenzCurve& out) {
   CF_EXPECTS(!wealth.empty());
-  std::vector<double> sorted(wealth.begin(), wealth.end());
+  scratch.assign(wealth.begin(), wealth.end());
   double total = 0.0;
-  for (double w : sorted) {
+  for (double w : scratch) {
     CF_EXPECTS_MSG(w >= 0.0, "wealth values must be non-negative");
     total += w;
   }
   CF_EXPECTS_MSG(total > 0.0, "total wealth must be positive");
-  std::sort(sorted.begin(), sorted.end());
+  std::sort(scratch.begin(), scratch.end());
 
-  LorenzCurve curve;
-  const std::size_t n = sorted.size();
-  curve.population_share.reserve(n + 1);
-  curve.wealth_share.reserve(n + 1);
-  curve.population_share.push_back(0.0);
-  curve.wealth_share.push_back(0.0);
+  const std::size_t n = scratch.size();
+  out.population_share.clear();
+  out.wealth_share.clear();
+  out.population_share.reserve(n + 1);
+  out.wealth_share.reserve(n + 1);
+  out.population_share.push_back(0.0);
+  out.wealth_share.push_back(0.0);
   double cum = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    cum += sorted[k];
-    curve.population_share.push_back(static_cast<double>(k + 1) /
-                                     static_cast<double>(n));
-    curve.wealth_share.push_back(cum / total);
+    cum += scratch[k];
+    out.population_share.push_back(static_cast<double>(k + 1) /
+                                   static_cast<double>(n));
+    out.wealth_share.push_back(cum / total);
   }
-  curve.wealth_share.back() = 1.0;  // absorb rounding
-  return curve;
+  out.wealth_share.back() = 1.0;  // absorb rounding
 }
 
 LorenzCurve lorenz_from_pmf(std::span<const double> pmf) {

@@ -16,24 +16,6 @@ double BufferMap::fill() const {
   return static_cast<double>(count_) / static_cast<double>(capacity_);
 }
 
-bool BufferMap::in_window(ChunkId c) const {
-  return c >= base_ && c < base_ + capacity_;
-}
-
-bool BufferMap::has(ChunkId c) const {
-  if (!in_window(c)) return false;
-  return bit(slot(c));
-}
-
-bool BufferMap::set(ChunkId c) {
-  if (!in_window(c)) return false;
-  const std::size_t s = slot(c);
-  if (bit(s)) return false;
-  have_[s / 64] |= std::uint64_t{1} << (s % 64);
-  ++count_;
-  return true;
-}
-
 std::size_t BufferMap::advance(ChunkId new_base) {
   CF_EXPECTS_MSG(new_base >= base_, "window cannot move backwards");
   std::size_t evicted = 0;

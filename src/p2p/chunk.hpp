@@ -31,12 +31,26 @@ class BufferMap {
   /// Fill ratio in [0,1].
   [[nodiscard]] double fill() const;
 
-  [[nodiscard]] bool in_window(ChunkId c) const;
+  // Inline: has/set/in_window run once per purchase candidate / delivery,
+  // millions of times per simulated run.
+  [[nodiscard]] bool in_window(ChunkId c) const {
+    return c >= base_ && c < base_ + capacity_;
+  }
   /// True when the peer holds chunk c (false outside the window).
-  [[nodiscard]] bool has(ChunkId c) const;
+  [[nodiscard]] bool has(ChunkId c) const {
+    if (!in_window(c)) return false;
+    return bit(slot(c));
+  }
   /// Mark chunk c as held; returns false if c is outside the window or
   /// already held.
-  bool set(ChunkId c);
+  bool set(ChunkId c) {
+    if (!in_window(c)) return false;
+    const std::size_t s = slot(c);
+    if (bit(s)) return false;
+    have_[s / 64] |= std::uint64_t{1} << (s % 64);
+    ++count_;
+    return true;
+  }
 
   /// Advance the window base to `new_base` (>= current base), evicting
   /// chunks that fall out. Returns the number of held chunks evicted.

@@ -22,16 +22,6 @@ Credits CreditLedger::burn_all(PeerId peer) {
   return amount;
 }
 
-bool CreditLedger::transfer(PeerId from, PeerId to, Credits amount) {
-  CF_EXPECTS(from < balance_.size() && to < balance_.size());
-  if (balance_[from] < amount) return false;
-  balance_[from] -= amount;
-  balance_[to] += amount;
-  ++transfers_;
-  volume_ += amount;
-  return true;
-}
-
 Credits CreditLedger::collect_tax(PeerId peer, Credits amount) {
   CF_EXPECTS(peer < balance_.size());
   const Credits take = amount < balance_[peer] ? amount : balance_[peer];
@@ -50,11 +40,6 @@ void CreditLedger::redistribute(std::span<const PeerId> recipients) {
   treasury_ -= recipients.size();
 }
 
-Credits CreditLedger::balance(PeerId peer) const {
-  CF_EXPECTS(peer < balance_.size());
-  return balance_[peer];
-}
-
 Credits CreditLedger::circulating() const {
   Credits total = 0;
   for (Credits b : balance_) total += b;
@@ -68,12 +53,18 @@ bool CreditLedger::audit() const {
 std::vector<double> CreditLedger::snapshot(
     std::span<const PeerId> alive) const {
   std::vector<double> out;
+  snapshot(alive, out);
+  return out;
+}
+
+void CreditLedger::snapshot(std::span<const PeerId> alive,
+                            std::vector<double>& out) const {
+  out.clear();
   out.reserve(alive.size());
   for (PeerId peer : alive) {
     CF_EXPECTS(peer < balance_.size());
     out.push_back(static_cast<double>(balance_[peer]));
   }
-  return out;
 }
 
 }  // namespace creditflow::p2p

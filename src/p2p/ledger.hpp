@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace creditflow::p2p {
 
 using PeerId = std::uint32_t;
@@ -31,7 +33,16 @@ class CreditLedger {
 
   /// Move credits between peers; returns false (and does nothing) when the
   /// payer's balance is insufficient. Transfers of 0 succeed trivially.
-  [[nodiscard]] bool transfer(PeerId from, PeerId to, Credits amount);
+  /// Inline: one call per purchase attempt, millions per simulated run.
+  [[nodiscard]] bool transfer(PeerId from, PeerId to, Credits amount) {
+    CF_EXPECTS(from < balance_.size() && to < balance_.size());
+    if (balance_[from] < amount) return false;
+    balance_[from] -= amount;
+    balance_[to] += amount;
+    ++transfers_;
+    volume_ += amount;
+    return true;
+  }
 
   /// Move credits from a peer into the treasury (taxation); clamps to the
   /// available balance and returns the amount actually collected.
@@ -40,7 +51,10 @@ class CreditLedger {
   /// requires treasury >= recipients.size().
   void redistribute(std::span<const PeerId> recipients);
 
-  [[nodiscard]] Credits balance(PeerId peer) const;
+  [[nodiscard]] Credits balance(PeerId peer) const {
+    CF_EXPECTS(peer < balance_.size());
+    return balance_[peer];
+  }
   [[nodiscard]] Credits treasury() const { return treasury_; }
   [[nodiscard]] Credits total_minted() const { return minted_; }
   [[nodiscard]] Credits total_burned() const { return burned_; }
@@ -56,6 +70,9 @@ class CreditLedger {
   /// Balances as doubles for the econ metrics, restricted to `alive` slots.
   [[nodiscard]] std::vector<double> snapshot(
       std::span<const PeerId> alive) const;
+  /// snapshot() into a caller-owned buffer (cleared first) — the
+  /// allocation-free flavor for periodic sampling.
+  void snapshot(std::span<const PeerId> alive, std::vector<double>& out) const;
 
  private:
   std::vector<Credits> balance_;

@@ -1,24 +1,26 @@
 #include "p2p/overlay.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 
 namespace creditflow::p2p {
 
 Overlay::Overlay(std::size_t max_peers)
-    : adj_(max_peers), active_(max_peers, false) {
+    : adj_(max_peers), active_words_((max_peers + 63) / 64, 0) {
   CF_EXPECTS(max_peers > 0);
+  active_list_.reserve(max_peers);
 }
 
 void Overlay::init_from_graph(const graph::Graph& g) {
   CF_EXPECTS(g.num_nodes() <= adj_.size());
   for (auto& row : adj_) row.clear();
-  std::fill(active_.begin(), active_.end(), false);
-  active_count_ = 0;
+  std::fill(active_words_.begin(), active_words_.end(), 0);
+  active_list_.clear();
   for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
-    active_[u] = true;
-    ++active_count_;
+    set_active_bit(u, true);
+    active_list_.push_back(u);
     const auto nbrs = g.neighbors(u);
     adj_[u].assign(nbrs.begin(), nbrs.end());
   }
@@ -26,7 +28,29 @@ void Overlay::init_from_graph(const graph::Graph& g) {
 
 bool Overlay::is_active(std::uint32_t peer) const {
   CF_EXPECTS(peer < adj_.size());
-  return active_[peer];
+  return (active_words_[peer / 64] >> (peer % 64)) & 1;
+}
+
+void Overlay::set_active_bit(std::uint32_t peer, bool value) {
+  const std::uint64_t mask = std::uint64_t{1} << (peer % 64);
+  if (value) {
+    active_words_[peer / 64] |= mask;
+  } else {
+    active_words_[peer / 64] &= ~mask;
+  }
+}
+
+void Overlay::list_insert(std::uint32_t peer) {
+  const auto it =
+      std::lower_bound(active_list_.begin(), active_list_.end(), peer);
+  active_list_.insert(it, peer);
+}
+
+void Overlay::list_erase(std::uint32_t peer) {
+  const auto it =
+      std::lower_bound(active_list_.begin(), active_list_.end(), peer);
+  CF_ENSURES(it != active_list_.end() && *it == peer);
+  active_list_.erase(it);
 }
 
 std::span<const std::uint32_t> Overlay::neighbors(std::uint32_t peer) const {
@@ -39,56 +63,60 @@ std::size_t Overlay::degree(std::uint32_t peer) const {
   return adj_[peer].size();
 }
 
-std::vector<std::uint32_t> Overlay::active_peers() const {
-  std::vector<std::uint32_t> out;
-  out.reserve(active_count_);
-  for (std::uint32_t p = 0; p < adj_.size(); ++p) {
-    if (active_[p]) out.push_back(p);
+std::optional<std::uint32_t> Overlay::lowest_inactive_slot() const {
+  for (std::size_t w = 0; w < active_words_.size(); ++w) {
+    const std::uint64_t free = ~active_words_[w];
+    if (free == 0) continue;
+    const auto slot = static_cast<std::uint32_t>(
+        w * 64 + static_cast<std::size_t>(std::countr_zero(free)));
+    if (slot >= adj_.size()) break;  // padding bits of the last word
+    return slot;
   }
-  return out;
+  return std::nullopt;
 }
 
 void Overlay::join(std::uint32_t peer, std::size_t target_links,
                    util::Rng& rng) {
   CF_EXPECTS(peer < adj_.size());
-  CF_EXPECTS_MSG(!active_[peer], "slot already active");
-  active_[peer] = true;
-  ++active_count_;
-  if (active_count_ == 1) return;  // first peer has nobody to link to
+  CF_EXPECTS_MSG(!is_active(peer), "slot already active");
+  set_active_bit(peer, true);
+  list_insert(peer);
+  if (active_list_.size() == 1) return;  // first peer has nobody to link to
 
   // Preferential attachment: sample candidates with weight degree+1.
-  const auto candidates = active_peers();
-  std::vector<double> weights;
-  weights.reserve(candidates.size());
+  const std::span<const std::uint32_t> candidates = active_list_;
+  join_weights_.clear();
   for (auto c : candidates) {
-    weights.push_back(c == peer ? 0.0
-                                : static_cast<double>(adj_[c].size()) + 1.0);
+    join_weights_.push_back(
+        c == peer ? 0.0 : static_cast<double>(adj_[c].size()) + 1.0);
   }
-  const std::size_t want = std::min(target_links, active_count_ - 1);
+  const std::size_t want =
+      std::min(target_links, active_list_.size() - 1);
   std::size_t added = 0;
   std::size_t attempts = 0;
   while (added < want && attempts < 20 * want + 40) {
     ++attempts;
-    const std::size_t idx = rng.discrete(weights);
+    const std::size_t idx = rng.discrete(join_weights_);
     if (add_edge(peer, candidates[idx])) {
       ++added;
-      weights[idx] = 0.0;  // at most one edge per target
+      join_weights_[idx] = 0.0;  // at most one edge per target
     }
   }
 }
 
 void Overlay::leave(std::uint32_t peer) {
   CF_EXPECTS(peer < adj_.size());
-  CF_EXPECTS_MSG(active_[peer], "slot not active");
+  CF_EXPECTS_MSG(is_active(peer), "slot not active");
   for (auto nbr : adj_[peer]) remove_directed(nbr, peer);
   adj_[peer].clear();
-  active_[peer] = false;
-  --active_count_;
+  set_active_bit(peer, false);
+  list_erase(peer);
 }
 
 bool Overlay::add_edge(std::uint32_t a, std::uint32_t b) {
   CF_EXPECTS(a < adj_.size() && b < adj_.size());
-  CF_EXPECTS_MSG(active_[a] && active_[b], "both endpoints must be active");
+  CF_EXPECTS_MSG(is_active(a) && is_active(b),
+                 "both endpoints must be active");
   if (a == b) return false;
   if (std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end()) {
     return false;
@@ -108,12 +136,11 @@ void Overlay::remove_directed(std::uint32_t from, std::uint32_t to) {
 }
 
 double Overlay::mean_degree() const {
-  if (active_count_ == 0) return 0.0;
+  if (active_list_.empty()) return 0.0;
   std::size_t total = 0;
-  for (std::uint32_t p = 0; p < adj_.size(); ++p) {
-    if (active_[p]) total += adj_[p].size();
-  }
-  return static_cast<double>(total) / static_cast<double>(active_count_);
+  for (std::uint32_t p : active_list_) total += adj_[p].size();
+  return static_cast<double>(total) /
+         static_cast<double>(active_list_.size());
 }
 
 }  // namespace creditflow::p2p

@@ -4,9 +4,23 @@
 // peers attach preferentially by degree (preserving the scale-free shape, as
 // in the measurement study the paper builds on) and departures remove all
 // incident edges.
+//
+// Membership is tracked three ways, kept in sync by join/leave:
+//  * a word-packed activity bitmap (O(1) is_active, O(capacity/64) lowest
+//    free slot),
+//  * a dense active-peer array in ascending id order, handed out as a span
+//    so the round loop iterates the population without copying it, and
+//  * the adjacency rows themselves.
+// The dense array is kept *ordered* (binary-search insert/erase, O(active)
+// memmove per membership change) rather than swap-remove compacted: churn
+// events are thousands of times rarer than active-set iterations, and the
+// ascending order is what keeps every RNG-consuming walk over the
+// population — seeding, taxation, snapshots — bit-identical to the
+// pre-span engine that rebuilt the sorted vector on every call.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -25,13 +39,25 @@ class Overlay {
   void init_from_graph(const graph::Graph& g);
 
   [[nodiscard]] std::size_t capacity() const { return adj_.size(); }
-  [[nodiscard]] std::size_t num_active() const { return active_count_; }
+  [[nodiscard]] std::size_t num_active() const { return active_list_.size(); }
   [[nodiscard]] bool is_active(std::uint32_t peer) const;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(
       std::uint32_t peer) const;
   [[nodiscard]] std::size_t degree(std::uint32_t peer) const;
-  /// Active peer ids (stable order; rebuilt on demand).
-  [[nodiscard]] std::vector<std::uint32_t> active_peers() const;
+  /// Active peer ids in ascending order, O(1), no copy.
+  ///
+  /// LIFETIME: the span aliases the overlay's internal dense array; any
+  /// join(), leave(), or init_from_graph() — and destruction — invalidates
+  /// it. Consume it (or copy it) before the membership can change; never
+  /// hold one across a simulated event boundary.
+  [[nodiscard]] std::span<const std::uint32_t> active_peers() const {
+    return active_list_;
+  }
+
+  /// Lowest-numbered inactive slot, or nullopt when the overlay is full.
+  /// Word-scan over the activity bitmap (capacity/64 words), replacing the
+  /// O(capacity) per-arrival scan over peer state.
+  [[nodiscard]] std::optional<std::uint32_t> lowest_inactive_slot() const;
 
   /// Activate a slot and attach `target_links` edges by preferential
   /// attachment over current degrees (degree+1 weighting so isolated peers
@@ -48,10 +74,15 @@ class Overlay {
 
  private:
   void remove_directed(std::uint32_t from, std::uint32_t to);
+  void set_active_bit(std::uint32_t peer, bool value);
+  /// Ordered insert into / erase from the dense active array.
+  void list_insert(std::uint32_t peer);
+  void list_erase(std::uint32_t peer);
 
   std::vector<std::vector<std::uint32_t>> adj_;
-  std::vector<bool> active_;
-  std::size_t active_count_ = 0;
+  std::vector<std::uint64_t> active_words_;   ///< ceil(capacity/64) words
+  std::vector<std::uint32_t> active_list_;    ///< active ids, ascending
+  std::vector<double> join_weights_;          ///< scratch for join()
 };
 
 }  // namespace creditflow::p2p

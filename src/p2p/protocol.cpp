@@ -72,6 +72,13 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   tx_volume_ = metrics_.counter_cell("market.volume");
   liquidity_failures_ = metrics_.counter_cell("market.liquidity_failures");
   tax_collected_ = metrics_.counter_cell("tax.collected");
+  tax_redistributions_ = metrics_.counter_cell("tax.redistributions");
+  injection_rounds_ = metrics_.counter_cell("injection.rounds");
+  injection_minted_ = metrics_.counter_cell("injection.minted");
+  churn_arrivals_ = metrics_.counter_cell("churn.arrivals");
+  churn_arrivals_dropped_ = metrics_.counter_cell("churn.arrivals_dropped");
+  churn_departures_ = metrics_.counter_cell("churn.departures");
+  churn_credits_taken_ = metrics_.counter_cell("churn.credits_taken");
   for (PeerId id = 0; id < cfg_.max_peers; ++id) {
     peers_[id].id = id;
     peers_[id].buffer = BufferMap(cfg_.window_chunks);
@@ -101,7 +108,8 @@ const PeerState& StreamingProtocol::peer(PeerId id) const {
 }
 
 std::vector<PeerId> StreamingProtocol::alive_peers() const {
-  return overlay_.active_peers();
+  const auto alive = overlay_.active_peers();
+  return std::vector<PeerId>(alive.begin(), alive.end());
 }
 
 ChunkId StreamingProtocol::stream_head() const {
@@ -189,10 +197,9 @@ void StreamingProtocol::start() {
           for (PeerId id : overlay_.active_peers()) {
             ledger_.mint(id, cfg_.injection.credits_per_peer);
           }
-          metrics_.increment("injection.rounds");
-          metrics_.increment("injection.minted",
-                             cfg_.injection.credits_per_peer *
-                                 overlay_.num_active());
+          ++*injection_rounds_;
+          *injection_minted_ +=
+              cfg_.injection.credits_per_peer * overlay_.num_active();
         })));
   }
 }
@@ -205,29 +212,25 @@ void StreamingProtocol::schedule_next_arrival() {
                       }));
 }
 
-std::optional<PeerId> StreamingProtocol::find_free_slot() const {
-  for (PeerId id = 0; id < peers_.size(); ++id) {
-    if (!peers_[id].alive) return id;
-  }
-  return std::nullopt;
-}
-
 void StreamingProtocol::handle_arrival(double now) {
-  const auto slot = find_free_slot();
+  // Alive peers and active overlay slots are the same set (join/leave and
+  // activate/departure always move together), so the overlay's activity
+  // bitmap answers "lowest free slot" in a word scan.
+  const auto slot = overlay_.lowest_inactive_slot();
   if (!slot) {
     // Log once; the counter tracks the rest (repeat warnings would flood
     // long runs that are intentionally driven at capacity).
-    if (metrics_.counter("churn.arrivals_dropped") == 0) {
+    if (*churn_arrivals_dropped_ == 0) {
       CF_LOG_WARN("arrival dropped: no free peer slot (capacity "
                   << peers_.size() << "); further drops counted silently");
     }
-    metrics_.increment("churn.arrivals_dropped");
+    ++*churn_arrivals_dropped_;
     return;
   }
   const PeerId id = *slot;
   activate_peer(id, now, /*initial=*/false);
   overlay_.join(id, cfg_.churn.join_links, rng_);
-  metrics_.increment("churn.arrivals");
+  ++*churn_arrivals_;
 
   const double lifespan = rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
   peers_[id].depart_time = now + lifespan;
@@ -241,8 +244,8 @@ void StreamingProtocol::handle_departure(PeerId id, double now) {
   (void)now;
   // The departing peer takes its credits out of the market.
   const Credits taken = ledger_.burn_all(id);
-  metrics_.increment("churn.departures");
-  metrics_.increment("churn.credits_taken", taken);
+  ++*churn_departures_;
+  *churn_credits_taken_ += taken;
   tax_.forget_peer(id);
   overlay_.leave(id);
   owner_index_.on_clear(id);
@@ -258,7 +261,7 @@ void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
           ? cfg_.window_chunks
           : static_cast<ChunkId>(prev_time * cfg_.stream_rate) +
                 cfg_.window_chunks;
-  const auto alive = overlay_.active_peers();
+  const std::span<const PeerId> alive = overlay_.active_peers();
   if (alive.empty()) return;
   for (ChunkId c = prev_head; c < head; ++c) {
     for (std::size_t k = 0; k < cfg_.seed_fanout; ++k) {
@@ -292,7 +295,8 @@ void StreamingProtocol::run_round(double now) {
   const ChunkId window_base = head - cfg_.window_chunks;
 
   // 1. Advance playback windows and refresh upload budgets.
-  round_order_ = overlay_.active_peers();
+  const auto active = overlay_.active_peers();
+  round_order_.assign(active.begin(), active.end());
   for (PeerId id : round_order_) {
     const ChunkId old_base = peers_[id].buffer.base();
     peers_[id].buffer.advance(window_base);
@@ -317,9 +321,8 @@ void StreamingProtocol::run_round(double now) {
   // 4. Taxation redistribution when the treasury is full enough.
   if (cfg_.tax.enabled && overlay_.num_active() > 0) {
     while (tax_.try_redistribute(overlay_.num_active())) {
-      const auto alive = overlay_.active_peers();
-      ledger_.redistribute(alive);
-      metrics_.increment("tax.redistributions");
+      ledger_.redistribute(overlay_.active_peers());
+      ++*tax_redistributions_;
     }
   }
 }
@@ -386,7 +389,53 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
         cfg_.seller_choice == ProtocolConfig::SellerChoice::kFillWeighted;
     PeerId seller_id = 0;
     bool have_seller = false;
-    if (cfg_.use_owner_index) {
+    if (cfg_.use_owner_index && phase_single_word_) {
+      // Single-word phase (the dominant configuration): the whole
+      // candidate set is one word, so count/pick/walk need no word loop.
+      // Identical candidate sets and picks as the generic path below.
+      const std::uint64_t mask = slot_masks_[phase_slot(chunk)];
+      if (mask != 0) {
+        have_seller = true;
+        if (cfg_.seller_choice ==
+            ProtocolConfig::SellerChoice::kCheapestAsk) {
+          econ::Credits best = std::numeric_limits<econ::Credits>::max();
+          std::uint64_t m = mask;
+          while (m != 0) {
+            const PeerId candidate =
+                eligible_[static_cast<std::size_t>(std::countr_zero(m))];
+            m &= m - 1;
+            const econ::Credits ask = pricing_->price(candidate, chunk);
+            if (ask < best) {
+              best = ask;
+              seller_id = candidate;
+            }
+          }
+        } else if (fill_weighted) {
+          seller_ids_.clear();
+          seller_weights_.clear();
+          std::uint64_t m = mask;
+          while (m != 0) {
+            const PeerId candidate =
+                eligible_[static_cast<std::size_t>(std::countr_zero(m))];
+            m &= m - 1;
+            seller_ids_.push_back(candidate);
+            seller_weights_.push_back(
+                static_cast<double>(peers_[candidate].buffer.count()) + 1.0);
+          }
+          seller_id = seller_ids_[rng_.discrete(seller_weights_)];
+        } else {
+          const auto num_sellers =
+              static_cast<std::size_t>(std::popcount(mask));
+          std::uint64_t m = mask;
+          for (std::size_t skip = uniform_pick(num_sellers); skip > 0;
+               --skip) {
+            m &= m - 1;
+          }
+          seller_id =
+              eligible_[static_cast<std::size_t>(std::countr_zero(m))];
+        }
+      }
+    } else if (cfg_.use_owner_index) {
       // The slot's candidate mask is already budget-correct (drained
       // sellers were cleared the moment they drained), so the candidate
       // count is a popcount and the uniform pick an nth-set-bit select.
@@ -527,19 +576,48 @@ void StreamingProtocol::build_purchase_candidates(
     ChunkId window_base) {
   phase_base_ = window_base;
   phase_base_slot_ = owner_index_.slot(window_base);
-  // Hoisted per-seller filters: aliveness is constant for the whole round,
-  // and a seller that entered the phase without upload budget can never
-  // regain it mid-phase (budgets only drain; mid-phase drains are handled
-  // by remove_drained_seller).
+  // Hoisted per-seller filter: a seller that entered the phase without
+  // upload budget can never regain it mid-phase (budgets only drain;
+  // mid-phase drains are handled by remove_drained_seller). No aliveness
+  // check: a departed peer holds no overlay edges — it cannot appear in a
+  // neighbor list — and its ownership bitmap is cleared on departure, so
+  // even a stale entry could never contribute a candidate bit. The filter
+  // therefore touches only the dense budget array, never the scattered
+  // per-peer state.
   eligible_.clear();
   for (const PeerId nbr : neighbors) {
-    if (peers_[nbr].alive && upload_budget_[nbr] >= 1.0) {
+    if (upload_budget_[nbr] >= 1.0) {
       eligible_.push_back(nbr);
     }
   }
   eligible_words_ = (eligible_.size() + 63) / 64;
   const std::size_t needed = cfg_.window_chunks * eligible_words_;
   if (slot_masks_.size() < needed) slot_masks_.resize(needed);
+
+  phase_single_word_ =
+      owner_index_.words_per_peer() == 1 && eligible_words_ == 1;
+  if (phase_single_word_) {
+    // Dominant configuration (window ≤ 64 chunks, ≤ 64 budgeted
+    // neighbors): every mask is one word, so the scatter loop runs without
+    // the generic path's per-word indexing. Same candidate sets, same
+    // neighbor-order bit layout — outcomes are bit-identical.
+    std::uint64_t miss = 0;
+    for (const ChunkId c : wanted) {
+      const std::size_t s = phase_slot(c);
+      miss |= std::uint64_t{1} << s;
+      slot_masks_[s] = 0;
+    }
+    for (std::size_t j = 0; j < eligible_.size(); ++j) {
+      std::uint64_t m = owner_index_.owned(eligible_[j])[0] & miss;
+      const std::uint64_t bit = std::uint64_t{1} << j;
+      while (m != 0) {
+        slot_masks_[static_cast<std::size_t>(std::countr_zero(m))] |= bit;
+        m &= m - 1;
+      }
+    }
+    return;
+  }
+
   missing_mask_.assign(owner_index_.words_per_peer(), 0);
   for (const ChunkId c : wanted) {
     const std::size_t s = phase_slot(c);
@@ -578,6 +656,10 @@ void StreamingProtocol::remove_drained_seller(
   while (j < eligible_.size() && eligible_[j] != seller) ++j;
   if (j == eligible_.size()) return;
   const std::uint64_t clear = ~(std::uint64_t{1} << (j & 63));
+  if (phase_single_word_) {
+    for (const ChunkId c : wanted) slot_masks_[phase_slot(c)] &= clear;
+    return;
+  }
   const std::size_t word_j = j >> 6;
   for (const ChunkId c : wanted) {
     slot_masks_[phase_slot(c) * eligible_words_ + word_j] &= clear;
@@ -585,19 +667,29 @@ void StreamingProtocol::remove_drained_seller(
 }
 
 std::vector<double> StreamingProtocol::balance_snapshot() const {
-  const auto alive = overlay_.active_peers();
-  return ledger_.snapshot(alive);
+  std::vector<double> out;
+  balance_snapshot(out);
+  return out;
+}
+
+void StreamingProtocol::balance_snapshot(std::vector<double>& out) const {
+  ledger_.snapshot(overlay_.active_peers(), out);
 }
 
 std::vector<double> StreamingProtocol::spend_rate_snapshot() const {
-  const auto alive = overlay_.active_peers();
   std::vector<double> rates;
-  rates.reserve(alive.size());
+  spend_rate_snapshot(rates);
+  return rates;
+}
+
+void StreamingProtocol::spend_rate_snapshot(std::vector<double>& out) const {
+  const auto alive = overlay_.active_peers();
+  out.clear();
+  out.reserve(alive.size());
   const double now = sim_.now();
   for (PeerId id : alive) {
-    rates.push_back(peers_[id].lifetime_spend_rate(now));
+    out.push_back(peers_[id].lifetime_spend_rate(now));
   }
-  return rates;
 }
 
 void StreamingProtocol::begin_rate_window() {
@@ -609,12 +701,19 @@ void StreamingProtocol::begin_rate_window() {
 }
 
 std::vector<double> StreamingProtocol::windowed_spend_rates() const {
+  std::vector<double> rates;
+  windowed_spend_rates(rates);
+  return rates;
+}
+
+void StreamingProtocol::windowed_spend_rates(
+    std::vector<double>& out) const {
   CF_EXPECTS_MSG(marker_time_ >= 0.0, "begin_rate_window was never called");
   const double dt = sim_.now() - marker_time_;
   CF_EXPECTS_MSG(dt > 0.0, "rate window has zero length");
   const auto alive = overlay_.active_peers();
-  std::vector<double> rates;
-  rates.reserve(alive.size());
+  out.clear();
+  out.reserve(alive.size());
   for (PeerId id : alive) {
     const auto spent_before =
         id < spent_marker_.size() ? spent_marker_[id] : 0;
@@ -622,20 +721,25 @@ std::vector<double> StreamingProtocol::windowed_spend_rates() const {
         peers_[id].credits_spent >= spent_before
             ? peers_[id].credits_spent - spent_before
             : peers_[id].credits_spent;  // peer slot recycled mid-window
-    rates.push_back(static_cast<double>(spent) / dt);
+    out.push_back(static_cast<double>(spent) / dt);
   }
-  return rates;
 }
 
 std::vector<double> StreamingProtocol::download_rate_snapshot() const {
-  const auto alive = overlay_.active_peers();
   std::vector<double> rates;
-  rates.reserve(alive.size());
+  download_rate_snapshot(rates);
+  return rates;
+}
+
+void StreamingProtocol::download_rate_snapshot(
+    std::vector<double>& out) const {
+  const auto alive = overlay_.active_peers();
+  out.clear();
+  out.reserve(alive.size());
   const double now = sim_.now();
   for (PeerId id : alive) {
-    rates.push_back(peers_[id].lifetime_download_rate(now));
+    out.push_back(peers_[id].lifetime_download_rate(now));
   }
-  return rates;
 }
 
 double StreamingProtocol::mean_buffer_fill() const {

@@ -165,6 +165,15 @@ class StreamingProtocol {
   [[nodiscard]] const Overlay& overlay() const { return overlay_; }
   [[nodiscard]] const PeerState& peer(PeerId id) const;
   [[nodiscard]] std::vector<PeerId> alive_peers() const;
+  /// Alive peer ids in ascending order, O(1), no copy.
+  ///
+  /// LIFETIME: aliases the overlay's dense active array; invalidated by any
+  /// churn event (join/leave) and by protocol destruction. Safe to hold for
+  /// the duration of one callback at a fixed simulation time — churn never
+  /// interleaves with an executing event — but never across events.
+  [[nodiscard]] std::span<const PeerId> alive_span() const {
+    return overlay_.active_peers();
+  }
   [[nodiscard]] std::size_t num_alive() const { return overlay_.num_active(); }
   [[nodiscard]] const econ::TaxationEngine& taxation() const { return tax_; }
   [[nodiscard]] const OwnerIndex& owner_index() const { return owner_index_; }
@@ -187,6 +196,15 @@ class StreamingProtocol {
   [[nodiscard]] std::vector<double> windowed_spend_rates() const;
   /// Lifetime download rate (chunks/sec) of alive peers.
   [[nodiscard]] std::vector<double> download_rate_snapshot() const;
+
+  // Scratch-buffer flavors of the snapshots above: fill a caller-owned
+  // vector (cleared first) instead of returning a fresh one, so periodic
+  // sampling allocates nothing once the buffer has warmed up. Values and
+  // order are identical to the returning flavors.
+  void balance_snapshot(std::vector<double>& out) const;
+  void spend_rate_snapshot(std::vector<double>& out) const;
+  void windowed_spend_rates(std::vector<double>& out) const;
+  void download_rate_snapshot(std::vector<double>& out) const;
   /// Current chunk at the head of the stream.
   [[nodiscard]] ChunkId stream_head() const;
   /// Fraction of the window held, averaged over alive peers (playback
@@ -244,7 +262,6 @@ class StreamingProtocol {
   void handle_arrival(double now);
   void handle_departure(PeerId id, double now);
   void activate_peer(PeerId id, double now, bool initial);
-  [[nodiscard]] std::optional<PeerId> find_free_slot() const;
 
   ProtocolConfig cfg_;
   sim::Simulator& sim_;
@@ -275,13 +292,26 @@ class StreamingProtocol {
   std::vector<ChunkId> missing_scratch_;
   ChunkId phase_base_ = 0;          ///< current phase's window base
   std::size_t phase_base_slot_ = 0; ///< its ring slot (one divide per phase)
+  /// Current phase fits the single-word fast path: the window is ≤ 64
+  /// chunks AND the buyer has 1..64 budgeted neighbors, so every candidate
+  /// mask is exactly one word (set by build_purchase_candidates).
+  bool phase_single_word_ = false;
 
   // Hot-loop counter cells cached once (stable for the registry lifetime)
-  // so per-transaction accounting skips the by-name map lookup.
+  // so per-event accounting skips the by-name map lookup — and the
+  // std::string construction that goes with it, which heap-allocates for
+  // names beyond the small-string buffer.
   std::uint64_t* tx_count_ = nullptr;
   std::uint64_t* tx_volume_ = nullptr;
   std::uint64_t* liquidity_failures_ = nullptr;
   std::uint64_t* tax_collected_ = nullptr;
+  std::uint64_t* tax_redistributions_ = nullptr;
+  std::uint64_t* injection_rounds_ = nullptr;
+  std::uint64_t* injection_minted_ = nullptr;
+  std::uint64_t* churn_arrivals_ = nullptr;
+  std::uint64_t* churn_arrivals_dropped_ = nullptr;
+  std::uint64_t* churn_departures_ = nullptr;
+  std::uint64_t* churn_credits_taken_ = nullptr;
 
   // Trailing spend-rate window (begin_rate_window / windowed_spend_rates).
   std::vector<std::uint64_t> spent_marker_;

@@ -7,11 +7,8 @@ void TransactionTrace::set_keep_records(bool keep) {
   if (keep) enabled_ = true;
 }
 
-void TransactionTrace::record(double time, PeerId buyer, PeerId seller,
-                              std::uint64_t chunk, Credits price) {
-  ++count_;
-  volume_ += price;
-  if (!enabled_) return;
+void TransactionTrace::record_full(double time, PeerId buyer, PeerId seller,
+                                   std::uint64_t chunk, Credits price) {
   pair_flows_[pair_key(buyer, seller)] += price;
   if (keep_records_) {
     records_.push_back(TransactionRecord{time, buyer, seller, chunk, price});

@@ -33,8 +33,14 @@ class TransactionTrace {
   /// Keep individual records (implies enabled).
   void set_keep_records(bool keep);
 
+  /// Inline: called once per transaction on the hot path; the disabled
+  /// case (the default) must cost two counter bumps, not a function call.
   void record(double time, PeerId buyer, PeerId seller, std::uint64_t chunk,
-              Credits price);
+              Credits price) {
+    ++count_;
+    volume_ += price;
+    if (enabled_) record_full(time, buyer, seller, chunk, price);
+  }
 
   [[nodiscard]] const std::vector<TransactionRecord>& records() const {
     return records_;
@@ -54,6 +60,9 @@ class TransactionTrace {
   void clear();
 
  private:
+  void record_full(double time, PeerId buyer, PeerId seller,
+                   std::uint64_t chunk, Credits price);
+
   bool enabled_ = false;
   bool keep_records_ = false;
   std::vector<TransactionRecord> records_;

@@ -8,6 +8,11 @@
 #include <numeric>
 #include <thread>
 
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define CREDITFLOW_HAS_GETRUSAGE 1
+#endif
+
 #include "core/market.hpp"
 #include "econ/gini.hpp"
 #include "util/assert.hpp"
@@ -20,6 +25,19 @@ double mean_of(std::span<const double> v) {
   if (v.empty()) return 0.0;
   return std::accumulate(v.begin(), v.end(), 0.0) /
          static_cast<double>(v.size());
+}
+
+/// Process peak RSS (high-water mark) in bytes; 0 where unsupported.
+std::uint64_t peak_rss_now() {
+#ifdef CREDITFLOW_HAS_GETRUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is KiB on Linux (bytes on macOS; the delta semantics hold
+  // either way, only the unit scale differs — Linux is what CI measures).
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace
@@ -91,6 +109,7 @@ std::vector<std::pair<std::string, double>> standard_metrics(
 void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
                        bool keep_report) {
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t rss_before = peak_rss_now();
   try {
     result.seed = spec.config.protocol.seed;
     core::CreditMarket market(spec.materialize());
@@ -106,6 +125,9 @@ void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
   result.telemetry.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const std::uint64_t rss_after = peak_rss_now();
+  result.telemetry.peak_rss_bytes =
+      rss_after > rss_before ? rss_after - rss_before : 0;
 }
 
 std::vector<RunResult> ThreadPoolExecutor::execute(

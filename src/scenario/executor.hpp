@@ -29,6 +29,17 @@ struct RunTelemetry {
   double wall_seconds = 0.0;            ///< end-to-end run wall time
   double purchase_phase_seconds = 0.0;  ///< protocol hot-path share of it
   std::uint64_t rounds = 0;             ///< protocol rounds simulated
+  /// Growth of the process peak-RSS high-water mark across this run
+  /// (getrusage delta, bytes). 0 when the run fit entirely in memory the
+  /// process had already touched — which is the expected steady state of an
+  /// allocation-free simulation core; a nonzero value on a warmed-up worker
+  /// flags a run that grew the footprint. The high-water mark is
+  /// process-global, so with parallel workers (jobs > 1) growth caused by
+  /// one run can land in a concurrent run's window — attribute per-run
+  /// values only from --jobs 1 sweeps (the perf-measurement mode); under
+  /// parallelism read it as "the sweep grew while this run was in flight".
+  /// 0 on platforms without getrusage.
+  std::uint64_t peak_rss_bytes = 0;
   bool from_cache = false;  ///< true when the run store answered instead
 };
 

@@ -173,8 +173,9 @@ std::string serialize_run_record(const RunKey& key, const RunResult& r) {
       << util::format_double(r.telemetry.wall_seconds)
       << ",\"purchase_phase_seconds\":"
       << util::format_double(r.telemetry.purchase_phase_seconds)
-      << ",\"rounds\":" << r.telemetry.rounds << "},\"error\":\""
-      << json_escape(r.error) << "\"}";
+      << ",\"rounds\":" << r.telemetry.rounds
+      << ",\"peak_rss_bytes\":" << r.telemetry.peak_rss_bytes
+      << "},\"error\":\"" << json_escape(r.error) << "\"}";
   return out.str();
 }
 
@@ -218,6 +219,10 @@ RunRecord parse_run_record(const std::string& line) {
           record.result.telemetry.purchase_phase_seconds = p.parse_number();
         } else if (t_field == "rounds") {
           record.result.telemetry.rounds = p.parse_u64();
+        } else if (t_field == "peak_rss_bytes") {
+          // Absent from records written before peak-RSS telemetry existed;
+          // such runs read back with the field's zero default.
+          record.result.telemetry.peak_rss_bytes = p.parse_u64();
         } else {
           CF_EXPECTS_MSG(false, "run record: unknown telemetry field " +
                                     t_field);

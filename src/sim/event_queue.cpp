@@ -6,27 +6,55 @@
 
 namespace creditflow::sim {
 
+namespace {
+
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<EventId>(generation) << 32) | slot;
+}
+constexpr std::uint32_t id_slot(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+constexpr std::uint32_t id_generation(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
 EventId EventQueue::schedule(double t, Callback cb) {
   CF_EXPECTS_MSG(cb != nullptr, "null event callback");
-  const EventId id = callbacks_.size();
-  callbacks_.push_back(std::move(cb));
-  alive_.push_back(true);
-  heap_.push_back(Entry{t, next_seq_++, id});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].callback = std::move(cb);
+  heap_.push_back(Entry{t, next_seq_++, slot, slots_[slot].generation});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  return id;
+  return make_id(slot, slots_[slot].generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id >= alive_.size() || !alive_[id]) return false;
-  alive_[id] = false;
-  callbacks_[id] = nullptr;
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].generation != id_generation(id)) return false;
+  if (slots_[slot].callback == nullptr) return false;  // never scheduled
+  retire(slot);
   --live_;
   return true;
 }
 
+void EventQueue::retire(std::uint32_t slot) {
+  slots_[slot].callback = nullptr;
+  ++slots_[slot].generation;  // invalidates the id and any heap tombstone
+  free_slots_.push_back(slot);
+}
+
 void EventQueue::skip_dead() {
-  while (!heap_.empty() && !alive_[heap_.front().id]) {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -34,9 +62,8 @@ void EventQueue::skip_dead() {
 
 double EventQueue::next_time() const {
   CF_EXPECTS(!empty());
-  // const_cast-free variant of skip_dead: scan lazily without mutating by
-  // finding the first live entry; the heap root is live after any pop(), so
-  // only cancellations since then can interpose. Clean the heap here too.
+  // Cleaning tombstones mutates only bookkeeping, never logical state; the
+  // earliest *live* entry is what callers are asking about.
   auto* self = const_cast<EventQueue*>(this);
   self->skip_dead();
   return heap_.front().time;
@@ -49,17 +76,20 @@ EventQueue::Fired EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const Entry e = heap_.back();
   heap_.pop_back();
-  Fired fired{e.time, e.id, std::move(callbacks_[e.id])};
-  alive_[e.id] = false;
-  callbacks_[e.id] = nullptr;
+  Fired fired{e.time, make_id(e.slot, e.generation),
+              std::move(slots_[e.slot].callback)};
+  retire(e.slot);
   --live_;
   return fired;
 }
 
 void EventQueue::clear() {
+  // Retire (rather than destroy) the slots so ids handed out before the
+  // clear stay stale forever instead of aliasing later events.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (!(slots_[slot].callback == nullptr)) retire(slot);
+  }
   heap_.clear();
-  callbacks_.clear();
-  alive_.clear();
   live_ = 0;
 }
 

@@ -1,24 +1,41 @@
 // CreditFlow: discrete-event core — a binary-heap event queue with stable
-// FIFO ordering among simultaneous events and O(log n) cancellation.
+// FIFO ordering among simultaneous events and O(1) cancellation.
+//
+// The queue is allocation-free in steady state: callbacks live in
+// generation-tagged slots that are recycled through a free list the moment
+// their event fires or is cancelled (so memory is bounded by the *peak*
+// number of pending events, not the lifetime event count), and the callback
+// type stores captures inline (util::FixedFunction) instead of spilling
+// non-trivial captures to the heap the way std::function does. A simulated
+// round that schedules as many events as it retires therefore runs without
+// a single heap allocation once vector capacities have warmed up.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "util/function.hpp"
 
 namespace creditflow::sim {
 
-/// Opaque handle identifying a scheduled event (for cancellation).
+/// Opaque handle identifying a scheduled event (for cancellation). Encodes
+/// (slot, generation); a handle goes stale — and cancel() returns false —
+/// the moment its event fires or is cancelled, even after the underlying
+/// slot has been recycled for a newer event.
 using EventId = std::uint64_t;
 
 /// Priority queue of (time, sequence)-ordered callbacks.
 ///
-/// Cancellation is implemented by tombstoning: cancelled entries stay in the
-/// heap and are skipped on pop, so cancel() is O(1) and pop amortizes the
-/// cleanup. The queue reports `size()` as the number of *live* events.
+/// Cancellation tombstones the heap entry (the slot's generation is bumped,
+/// so the entry no longer matches) and recycles the slot immediately; pop
+/// skips stale entries lazily. `size()` reports *live* events.
 class EventQueue {
  public:
-  using Callback = std::function<void(double)>;  ///< receives the fire time
+  /// Inline-storage callback: receives the fire time. 64 bytes covers every
+  /// closure the simulator and protocol schedule (the largest is a teardown
+  /// guard wrapping a std::function) without a heap fallback; larger
+  /// captures fail to compile rather than silently allocating.
+  using Callback = util::FixedFunction<void(double), 64>;
 
   EventQueue() = default;
 
@@ -47,10 +64,15 @@ class EventQueue {
   void clear();
 
  private:
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 0;  ///< bumped on fire/cancel
+  };
   struct Entry {
     double time;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -59,12 +81,17 @@ class EventQueue {
     }
   };
 
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].generation == e.generation;
+  }
+  /// Retire a live slot: destroy its callback, invalidate outstanding
+  /// handles/heap entries, and make the slot reusable.
+  void retire(std::uint32_t slot);
   void skip_dead();
 
   std::vector<Entry> heap_;
-  // id -> callback; erased on fire/cancel. Vector-backed map keyed densely.
-  std::vector<Callback> callbacks_;
-  std::vector<bool> alive_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

@@ -18,29 +18,40 @@ EventId Simulator::schedule_after(double delay, EventQueue::Callback cb) {
 
 bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
 
+namespace {
+
+/// Heap cell of one periodic task (allocated once at registration). The
+/// pending queue entry is the sole strong owner: each occurrence captures
+/// only a 16-byte shared_ptr — inside the callback's inline storage — so
+/// the steady-state fire/reschedule cycle allocates nothing.
+struct PeriodicTask {
+  Simulator* sim;
+  double interval;
+  std::shared_ptr<bool> cancelled;
+  EventQueue::Callback callback;
+
+  void fire(double t, const std::shared_ptr<PeriodicTask>& self) {
+    if (*cancelled) return;
+    callback(t);
+    if (*cancelled) return;  // the callback may have cancelled the handle
+    sim->schedule_at(t + interval, [self](double next) {
+      self->fire(next, self);
+    });
+  }
+};
+
+}  // namespace
+
 Simulator::PeriodicHandle Simulator::schedule_periodic(
-    double first_at, double interval, std::function<void(double)> cb) {
+    double first_at, double interval, EventQueue::Callback cb) {
   CF_EXPECTS(first_at >= now_);
   CF_EXPECTS(interval > 0.0);
   CF_EXPECTS(cb != nullptr);
   PeriodicHandle handle;
-  auto cancelled = handle.cancelled_;
-  auto task = std::make_shared<std::function<void(double)>>();
-  // The queue entry is the sole strong owner of the task cell: each pending
-  // occurrence keeps it alive, and the cell itself only holds a weak
-  // self-reference (a strong one would be a shared_ptr cycle that leaks the
-  // cell and every capture in `cb`).
-  auto occurrence = [task](double t) { (*task)(t); };
-  *task = [this, interval, cancelled, weak_task = std::weak_ptr(task),
-           callback = std::move(cb)](double t) {
-    if (*cancelled) return;
-    callback(t);
-    if (*cancelled) return;
-    if (auto strong = weak_task.lock()) {
-      schedule_at(t + interval, [strong](double next) { (*strong)(next); });
-    }
-  };
-  schedule_at(first_at, std::move(occurrence));
+  auto task = std::make_shared<PeriodicTask>(
+      PeriodicTask{this, interval, handle.cancelled_, std::move(cb)});
+  schedule_at(first_at,
+              [task](double t) { task->fire(t, task); });
   return handle;
 }
 

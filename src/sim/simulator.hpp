@@ -30,7 +30,10 @@ class Simulator {
 
   /// Register a periodic task firing every `interval` starting at
   /// `first_at`; runs until the horizon or until cancelled via the returned
-  /// handle's `cancel()`. The callback receives the fire time.
+  /// handle's `cancel()`. The callback receives the fire time. The task
+  /// body is allocated once here; each subsequent occurrence reschedules
+  /// through an inline-storage trampoline, so steady-state periodic firing
+  /// performs no heap allocation.
   class PeriodicHandle {
    public:
     PeriodicHandle() = default;
@@ -41,7 +44,7 @@ class Simulator {
     std::shared_ptr<bool> cancelled_ = std::make_shared<bool>(false);
   };
   PeriodicHandle schedule_periodic(double first_at, double interval,
-                                   std::function<void(double)> cb);
+                                   EventQueue::Callback cb);
 
   /// Run until the queue drains or time would exceed `horizon`; the clock is
   /// left at min(horizon, last-event time). Returns events executed.

@@ -1,0 +1,111 @@
+// CreditFlow: FixedFunction — a move-only callable with inline storage.
+//
+// std::function falls back to heap allocation for any capture that is not
+// trivially copyable (a shared_ptr, a weak_ptr, another std::function), which
+// puts an allocation on every periodic-event reschedule — once per simulated
+// round. FixedFunction stores any callable up to `Capacity` bytes in place
+// (enforced at compile time, non-trivial captures included), so the event
+// queue's steady-state schedule/fire cycle never touches the heap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace creditflow::util {
+
+template <typename Signature, std::size_t Capacity>
+class FixedFunction;
+
+/// Move-only callable wrapper with `Capacity` bytes of inline storage.
+/// Oversized or over-aligned callables are a compile error, never a silent
+/// heap fallback — capacity pressure shows up at the capture site.
+template <typename R, typename... Args, std::size_t Capacity>
+class FixedFunction<R(Args...), Capacity> {
+ public:
+  FixedFunction() = default;
+  FixedFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>,
+                             FixedFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  FixedFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds FixedFunction inline capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable over-aligned for FixedFunction storage");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* target, Args... args) -> R {
+      return (*static_cast<Fn*>(target))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* dst, void* src) {
+      if (dst != nullptr) {  // move-construct dst from src, destroying src
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      }
+      static_cast<Fn*>(src)->~Fn();
+    };
+  }
+
+  FixedFunction(FixedFunction&& other) noexcept { move_from(other); }
+
+  FixedFunction& operator=(FixedFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  FixedFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  FixedFunction(const FixedFunction&) = delete;
+  FixedFunction& operator=(const FixedFunction&) = delete;
+
+  ~FixedFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  friend bool operator==(const FixedFunction& f, std::nullptr_t) {
+    return f.invoke_ == nullptr;
+  }
+
+  R operator()(Args... args) {
+    return invoke_(static_cast<void*>(storage_),
+                   std::forward<Args>(args)...);
+  }
+
+ private:
+  void reset() {
+    if (manage_ != nullptr) {
+      manage_(nullptr, static_cast<void*>(storage_));
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  void move_from(FixedFunction& other) {
+    if (other.manage_ != nullptr) {
+      other.manage_(static_cast<void*>(storage_),
+                    static_cast<void*>(other.storage_));
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  /// dst != nullptr: move-construct *dst from *src, then destroy *src.
+  /// dst == nullptr: destroy *src.
+  void (*manage_)(void* dst, void* src) = nullptr;
+};
+
+}  // namespace creditflow::util

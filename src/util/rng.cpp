@@ -7,14 +7,6 @@
 
 namespace creditflow::util {
 
-namespace {
-
-[[nodiscard]] std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();
@@ -25,46 +17,11 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
 Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
-
-double Rng::uniform() {
-  // 53 random bits into [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
 
 double Rng::uniform(double lo, double hi) {
   CF_EXPECTS(lo < hi);
   return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t Rng::uniform_index(std::uint64_t n) {
-  CF_EXPECTS(n > 0);
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  __extension__ using U128 = unsigned __int128;
-  std::uint64_t x = next_u64();
-  U128 m = static_cast<U128>(x) * n;
-  auto l = static_cast<std::uint64_t>(m);
-  if (l < n) {
-    const std::uint64_t t = (0 - n) % n;
-    while (l < t) {
-      x = next_u64();
-      m = static_cast<U128>(x) * n;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -72,11 +29,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   const auto span =
       static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63, safe
   return lo + static_cast<std::int64_t>(uniform_index(span));
-}
-
-bool Rng::bernoulli(double p) {
-  CF_EXPECTS(p >= 0.0 && p <= 1.0);
-  return uniform() < p;
 }
 
 double Rng::exponential(double rate) {

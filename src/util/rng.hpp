@@ -82,23 +82,60 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  /// Raw 64 random bits.
+  /// Raw 64 random bits. Inline (with the other one-liners below): these
+  /// fire millions of times per simulated run, squarely on the purchase
+  /// and seeding hot paths.
   result_type operator()() { return next_u64(); }
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Derive an independent generator (distinct logical stream).
   [[nodiscard]] Rng split();
 
   /// Uniform double in [0, 1).
-  [[nodiscard]] double uniform();
+  [[nodiscard]] double uniform() {
+    // 53 random bits into [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   /// Uniform double in [lo, hi); requires lo < hi.
   [[nodiscard]] double uniform(double lo, double hi);
   /// Uniform integer in [0, n); requires n > 0. Unbiased (Lemire rejection).
-  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+    CF_EXPECTS(n > 0);
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    __extension__ using U128 = unsigned __int128;
+    std::uint64_t x = next_u64();
+    U128 m = static_cast<U128>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<U128>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Bernoulli trial with success probability p in [0, 1].
-  [[nodiscard]] bool bernoulli(double p);
+  [[nodiscard]] bool bernoulli(double p) {
+    CF_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
 
   /// Exponential with given rate (mean 1/rate); requires rate > 0.
   [[nodiscard]] double exponential(double rate);

@@ -118,7 +118,53 @@ TEST(Overlay, ActivePeersList) {
   o.init_from_graph(g);
   o.leave(1);
   const auto active = o.active_peers();
-  EXPECT_EQ(active, (std::vector<std::uint32_t>{0, 2}));
+  const std::vector<std::uint32_t> expected{0, 2};
+  EXPECT_TRUE(std::equal(active.begin(), active.end(), expected.begin(),
+                         expected.end()));
+}
+
+TEST(Overlay, ActivePeersStayAscendingUnderChurn) {
+  // The dense active array must mirror the ascending-id order the engine's
+  // deterministic walks (seeding, snapshots, taxation) depend on, through
+  // arbitrary join/leave interleavings.
+  util::Rng rng(10);
+  const auto g = graph::complete(6);
+  Overlay o(12);
+  o.init_from_graph(g);
+  o.leave(3);
+  o.leave(0);
+  o.join(9, 2, rng);
+  o.join(0, 2, rng);
+  o.leave(5);
+  o.join(11, 1, rng);
+  const auto active = o.active_peers();
+  const std::vector<std::uint32_t> expected{0, 1, 2, 4, 9, 11};
+  ASSERT_EQ(active.size(), expected.size());
+  EXPECT_TRUE(std::equal(active.begin(), active.end(), expected.begin()));
+  for (std::uint32_t p = 0; p < 12; ++p) {
+    const bool listed =
+        std::find(active.begin(), active.end(), p) != active.end();
+    EXPECT_EQ(o.is_active(p), listed) << "peer " << p;
+  }
+}
+
+TEST(Overlay, LowestInactiveSlotTracksMembership) {
+  util::Rng rng(11);
+  Overlay o(130);  // spans three 64-bit bitmap words
+  const auto g = graph::complete(4);
+  o.init_from_graph(g);
+  ASSERT_TRUE(o.lowest_inactive_slot().has_value());
+  EXPECT_EQ(*o.lowest_inactive_slot(), 4u);
+  o.leave(2);
+  EXPECT_EQ(*o.lowest_inactive_slot(), 2u);
+  o.join(2, 1, rng);
+  EXPECT_EQ(*o.lowest_inactive_slot(), 4u);
+  // Fill every slot: the overlay reports no free slot instead of a bogus
+  // id from the bitmap's padding bits.
+  for (std::uint32_t p = 4; p < 130; ++p) o.join(p, 1, rng);
+  EXPECT_FALSE(o.lowest_inactive_slot().has_value());
+  o.leave(129);
+  EXPECT_EQ(*o.lowest_inactive_slot(), 129u);
 }
 
 TEST(FixedSpending, BudgetIsRateTimesRound) {

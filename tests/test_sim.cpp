@@ -1,6 +1,7 @@
 // Tests for sim/event_queue, sim/simulator, sim/metrics.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -62,6 +63,70 @@ TEST(EventQueue, CancelledEventsSkippedOnPop) {
 TEST(EventQueue, NullCallbackRejected) {
   EventQueue q;
   EXPECT_THROW(q.schedule(0.0, nullptr), util::PreconditionError);
+}
+
+TEST(EventQueue, StaleIdsStayStaleAcrossSlotReuse) {
+  // Slots are recycled after fire/cancel; an old handle must never reach
+  // the newer event that now occupies its slot.
+  EventQueue q;
+  int fired_a = 0;
+  int fired_b = 0;
+  const auto a = q.schedule(1.0, [&](double) { ++fired_a; });
+  auto f = q.pop();
+  f.callback(f.time);
+  EXPECT_EQ(fired_a, 1);
+  // The next schedule reuses a's slot (single-slot queue).
+  const auto b = q.schedule(2.0, [&](double) { ++fired_b; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));  // stale handle: no effect on b
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(b));
+}
+
+TEST(EventQueue, SlotReuseBoundsMemoryNotCorrectness) {
+  // A long fire/reschedule chain keeps recycling one slot: ids remain
+  // unique and cancellable, ordering and FIFO semantics hold throughout.
+  EventQueue q;
+  std::vector<EventId> seen;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = q.schedule(static_cast<double>(i), [&](double) {
+      ++fired;
+    });
+    for (const auto old : seen) EXPECT_NE(old, id);
+    if (i % 16 == 0) seen.push_back(id);
+    auto f = q.pop();
+    f.callback(f.time);
+  }
+  EXPECT_EQ(fired, 1000);
+  for (const auto old : seen) EXPECT_FALSE(q.cancel(old));
+}
+
+TEST(EventQueue, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(1.0, [&](double) { fired = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));
+  // A post-clear event reusing the slot is untouched by the stale handle.
+  q.schedule(1.0, [&](double) { fired = true; });
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, MoveOnlyCapturesAreSupported) {
+  // The inline-storage callback type must accept move-only captures —
+  // std::function forces copyability, which the old queue required.
+  EventQueue q;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  q.schedule(1.0, [p = std::move(payload), &seen](double) { seen = *p; });
+  auto f = q.pop();
+  f.callback(f.time);
+  EXPECT_EQ(seen, 42);
 }
 
 TEST(Simulator, RunsToHorizonAndAdvancesClock) {
