@@ -26,10 +26,24 @@
 //   --eta             live per-run progress with a wall-time ETA, and
 //                     telemetry columns in --runs-out
 //
+// Distributed sweeps (work-stealing over TCP; see scenario/coordinator.hpp):
+//   --serve PORT         coordinate this sweep on 0.0.0.0:PORT, handing
+//                        runs to socket workers dynamically and emitting
+//                        the usual outputs — byte-identical to the
+//                        single-process sweep
+//   --coordinator H:P    same, binding an explicit address (e.g.
+//                        127.0.0.1:9000 to keep a sweep loopback-only)
+//   --worker HOST:PORT   join the sweep served at HOST:PORT as a worker
+//                        (--jobs parallel sessions; no sweep flags needed
+//                        — the plan arrives over the wire)
+//   --lease-timeout S    revoke + re-queue a silent worker's leases after
+//                        S seconds (coordinator side; default 30)
+//
 // Prints the market report (single-run mode), optionally the Gini chart,
 // and (with --trace) the sustainability analyzer's verdict on the
 // empirical Table I mapping. Exit code 0 on success/conserved ledger, 2 on
 // a conservation violation or failed sweep runs.
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -44,6 +58,7 @@
 #include "scenario/scenario.hpp"
 #include "util/assert.hpp"
 #include "util/chart.hpp"
+#include "util/socket.hpp"
 
 namespace {
 
@@ -76,6 +91,13 @@ namespace {
       << "  --eta                live ETA in progress lines (overrides\n"
       << "                       --quiet) + wall-time telemetry columns\n"
       << "                       in --runs-out\n"
+      << "distributed sweep mode (work-stealing over TCP):\n"
+      << "  --serve PORT         coordinate this sweep on 0.0.0.0:PORT\n"
+      << "  --coordinator H:P    coordinate, binding host H port P\n"
+      << "  --worker HOST:PORT   join the sweep served at HOST:PORT\n"
+      << "                       (--jobs = parallel worker sessions)\n"
+      << "  --lease-timeout S    re-queue a silent worker's runs after S\n"
+      << "                       seconds (coordinator side; default 30)\n"
       << "single-run convenience flags (aliases of --set):\n"
       << "  --peers N --credits C --horizon S --seed K\n"
       << "  --pricing uniform|poisson|perseller|linear\n"
@@ -211,6 +233,10 @@ struct SweepCliOptions {
   bool sharded = false;  ///< --shard given (even 0/1 — output run records)
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  bool coordinate = false;  ///< --serve/--coordinator given
+  std::string bind_host = "0.0.0.0";
+  std::uint16_t bind_port = 0;
+  double lease_timeout = 30.0;
   SweepOutputOptions out;
 };
 
@@ -300,6 +326,113 @@ int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
   return emit_sweep_outputs(sink, "sweep results — " + spec.name, cli.out);
 }
 
+/// --serve/--coordinator mode: own the plan, lease runs to socket workers
+/// dynamically (work-stealing), merge the streamed-back records, and emit
+/// the same outputs — byte for byte — a single-process sweep would.
+int run_coordinator_sweep(const creditflow::scenario::ScenarioSpec& spec,
+                          creditflow::scenario::SweepSpec sweep,
+                          const SweepCliOptions& cli) {
+  using namespace creditflow;
+  const std::size_t total = sweep.num_runs();
+  std::cerr << "sweep: " << sweep.num_points() << " grid points x "
+            << sweep.seeds << " seeds = " << total
+            << " runs (base scenario " << spec.name << ")\n";
+
+  scenario::Coordinator::Options options;
+  options.host = cli.bind_host;
+  options.port = cli.bind_port;
+  options.lease_timeout_seconds = cli.lease_timeout;
+  options.cache_dir = cli.cache_dir;
+  std::size_t done = 0;
+  if (!cli.quiet) {
+    options.on_result = [&](const scenario::RunResult& r) {
+      ++done;
+      std::cerr << "[" << done << "/" << total << "] run " << r.run_index;
+      if (!r.error.empty()) {
+        std::cerr << " FAILED: " << r.error;
+      } else if (r.telemetry.from_cache) {
+        std::cerr << " cached gini=" << r.metric("converged_gini");
+      } else {
+        std::cerr << " gini=" << r.metric("converged_gini");
+      }
+      std::cerr << "\n";
+    };
+  }
+
+  const std::size_t seeds = sweep.seeds;
+  scenario::Coordinator coordinator(spec, std::move(sweep),
+                                    std::move(options));
+  std::cerr << "[coordinator] listening on " << cli.bind_host << ":"
+            << coordinator.port() << " (lease timeout " << cli.lease_timeout
+            << "s)\n";
+
+  scenario::ResultSink sink;
+  sink.set_expected_replications(seeds);
+  auto results = coordinator.run();
+  std::cerr << "[coordinator] executed=" << coordinator.executed()
+            << " cache_hits=" << coordinator.cache_hits()
+            << " requeued=" << coordinator.requeued()
+            << " duplicates=" << coordinator.duplicates()
+            << " workers=" << coordinator.workers_seen() << "\n";
+
+  sink.add_all(std::move(results));
+  return emit_sweep_outputs(sink, "sweep results — " + spec.name, cli.out);
+}
+
+/// --worker mode: join the sweep served at host:port; the plan arrives
+/// over the wire, so no scenario flags are needed on this side.
+int run_worker_mode(const std::string& host, std::uint16_t port,
+                    std::size_t jobs, bool quiet) {
+  using namespace creditflow;
+  scenario::WorkerOptions options;
+  options.sessions = jobs;
+  if (!quiet) {
+    options.on_result = [](const scenario::RunResult& r) {
+      std::cerr << "[worker] run " << r.run_index;
+      if (!r.error.empty()) {
+        std::cerr << " FAILED: " << r.error;
+      } else {
+        std::cerr << " gini=" << r.metric("converged_gini");
+      }
+      std::cerr << "\n";
+    };
+  }
+  std::cerr << "[worker] joining sweep at " << host << ":" << port << "\n";
+  const scenario::WorkerReport report =
+      scenario::run_worker(host, port, options);
+  std::cerr << "[worker] executed=" << report.runs_executed
+            << " duplicates=" << report.duplicates
+            << (report.completed ? " (sweep complete)" : "") << "\n";
+  if (!report.completed) {
+    std::cerr << "[worker] "
+              << (report.error.empty() ? "coordinator went away"
+                                       : report.error)
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Parse "HOST:PORT" — or a bare "PORT", which leaves `host` at its
+/// caller-supplied default; exits via usage() on malformed input.
+void parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port, const char* argv0) {
+  std::string port_text = text;
+  const auto colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+    if (host.empty()) usage(argv0);
+  }
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || port_text.empty() ||
+      v == 0 || v > 65535) {
+    usage(argv0);
+  }
+  port = static_cast<std::uint16_t>(v);
+}
+
 /// --merge mode: parse shard record files, recombine by run_index, emit the
 /// same outputs a single-process sweep would.
 int run_merge(const std::vector<std::string>& merge_files,
@@ -352,6 +485,9 @@ int main(int argc, char** argv) {
   scenario::SweepSpec sweep;
   SweepCliOptions cli;
   std::vector<std::string> merge_files;
+  bool worker_mode = false;
+  std::string worker_host = "127.0.0.1";
+  std::uint16_t worker_port = 0;
   bool want_chart = false;
   bool print_spec = false;
 
@@ -420,6 +556,19 @@ int main(int argc, char** argv) {
       parse_shard(next(), cli, argv[0]);
     } else if (arg == "--merge") {
       merge_files.push_back(next());
+    } else if (arg == "--serve" || arg == "--coordinator") {
+      // Two spellings of coordinator mode: a bare PORT binds every
+      // interface, HOST:PORT pins the host (e.g. 127.0.0.1 to stay
+      // loopback-only).
+      cli.coordinate = true;
+      cli.bind_host = "0.0.0.0";
+      parse_host_port(next(), cli.bind_host, cli.bind_port, argv[0]);
+    } else if (arg == "--worker") {
+      worker_mode = true;
+      parse_host_port(next(), worker_host, worker_port, argv[0]);
+    } else if (arg == "--lease-timeout") {
+      cli.lease_timeout = parse_double(next(), argv[0]);
+      if (cli.lease_timeout <= 0.0) usage(argv[0]);
     } else if (arg == "--eta") {
       cli.eta = true;
       cli.out.timing_columns = true;
@@ -486,12 +635,45 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (worker_mode) {
+    if (cli.coordinate || cli.sharded || !merge_files.empty()) {
+      std::cerr << "--worker excludes --serve/--coordinator/--shard/"
+                   "--merge\n";
+      return 64;
+    }
+    // Sweep definition and output flags belong on the coordinator side; a
+    // worker silently dropping them would surprise whoever expected the
+    // files — reject loudly instead.
+    if (!sweep.axes.empty() || sweep.seeds > 1 ||
+        !cli.out.out_path.empty() || !cli.out.runs_out_path.empty() ||
+        !cli.cache_dir.empty() || cli.eta) {
+      std::cerr << "--worker takes no sweep/output flags (the plan and the "
+                   "outputs live on the coordinator)\n";
+      return 64;
+    }
+    return run_worker_mode(worker_host, worker_port, cli.jobs, cli.quiet);
+  }
+
   if (!merge_files.empty()) {
     try {
       return run_merge(merge_files, cli.out);
     } catch (const util::PreconditionError& e) {
       std::cerr << e.what() << "\n";  // unreadable/malformed record file
       return 64;
+    }
+  }
+
+  if (cli.coordinate) {
+    if (cli.sharded) {
+      std::cerr << "--serve/--coordinator replaces --shard (the "
+                   "coordinator partitions dynamically)\n";
+      return 64;
+    }
+    try {
+      return run_coordinator_sweep(spec, std::move(sweep), cli);
+    } catch (const util::SocketError& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
     }
   }
 

@@ -1,0 +1,359 @@
+#include "scenario/coordinator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "scenario/store.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/socket.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Ceiling on a RESULT payload announcement: a run record is a few hundred
+/// bytes, so anything past this is a corrupt or hostile header.
+constexpr std::size_t kMaxResultBytes = std::size_t{16} * 1024 * 1024;
+
+}  // namespace
+
+struct Coordinator::Impl {
+  SweepPlan plan;
+  Options options;
+  /// "PLAN <lease_ms> <spec_len> <sweep_len>\n" + spec text + sweep text,
+  /// sent verbatim to every worker that completes the handshake.
+  std::string plan_message;
+  std::vector<RunKey> keys;  ///< keys[i] = plan.key(i), for validation
+  std::optional<RunStore> store;
+  util::Listener listener;
+
+  /// One connected worker session.
+  struct Conn {
+    util::Socket socket;
+    std::string inbuf;
+    bool hello = false;
+    std::size_t payload_remaining = 0;  ///< >0 → mid-RESULT payload
+    std::string payload;
+  };
+  std::map<int, Conn> conns;  ///< keyed by descriptor
+
+  struct Lease {
+    int fd = -1;
+    Clock::time_point deadline;
+  };
+  std::deque<std::size_t> pending;        ///< grantable run indices
+  std::map<std::size_t, Lease> leases;    ///< outstanding grants
+  std::vector<RunResult> results;
+  std::vector<char> have;                 ///< results[i] filled?
+  std::size_t completed = 0;
+  bool done = false;
+  Clock::time_point drain_deadline;
+  bool ran = false;
+
+  Impl(ScenarioSpec base, SweepSpec sweep, Options opts)
+      : plan(std::move(base), std::move(sweep)), options(std::move(opts)) {
+    CF_EXPECTS_MSG(options.lease_timeout_seconds > 0.0,
+                   "lease timeout must be positive");
+    const std::string spec_text = plan.base().serialize();
+    const std::string sweep_text = plan.sweep().serialize();
+    const auto lease_ms = static_cast<long long>(
+        options.lease_timeout_seconds * 1000.0 + 0.5);
+    plan_message = "PLAN " + std::to_string(lease_ms) + " " +
+                   std::to_string(spec_text.size()) + " " +
+                   std::to_string(sweep_text.size()) + "\n" + spec_text +
+                   sweep_text;
+    keys.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) keys.push_back(plan.key(i));
+    results.resize(plan.size());
+    have.assign(plan.size(), 0);
+    if (!options.cache_dir.empty()) store.emplace(options.cache_dir);
+    listener = util::Listener::bind(options.host, options.port);
+  }
+};
+
+Coordinator::Coordinator(ScenarioSpec base, SweepSpec sweep, Options options)
+    : impl_(std::make_unique<Impl>(std::move(base), std::move(sweep),
+                                   std::move(options))) {}
+
+Coordinator::~Coordinator() = default;
+
+std::uint16_t Coordinator::port() const { return impl_->listener.port(); }
+
+std::vector<RunResult> Coordinator::run() {
+  Impl& im = *impl_;
+  CF_EXPECTS_MSG(!im.ran, "Coordinator::run may only be called once");
+  im.ran = true;
+
+  // Resolve cache hits up front — exactly the SweepRunner recall path, so
+  // warm-store output is byte-identical to the uncached sweep.
+  for (std::size_t i = 0; i < im.plan.size(); ++i) {
+    const RunResult* cached =
+        im.store ? im.store->find(im.keys[i]) : nullptr;
+    if (cached == nullptr) {
+      im.pending.push_back(i);
+      continue;
+    }
+    RunResult hit = im.plan.labelled_result(i);
+    hit.seed = cached->seed;
+    hit.metrics = cached->metrics;
+    hit.telemetry = cached->telemetry;
+    hit.telemetry.from_cache = true;
+    hit.error = cached->error;
+    ++cache_hits_;
+    if (im.options.on_result) im.options.on_result(hit);
+    im.results[i] = std::move(hit);
+    im.have[i] = 1;
+    ++im.completed;
+  }
+  if (im.completed == im.plan.size()) {
+    im.done = true;
+    im.drain_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               im.options.drain_seconds));
+  }
+
+  const auto lease_duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(im.options.lease_timeout_seconds));
+
+  auto close_conn = [&](int fd) {
+    // A dying worker's leases flow straight back to the queue head, so the
+    // next NEXT from any live worker steals them immediately.
+    for (auto it = im.leases.begin(); it != im.leases.end();) {
+      if (it->second.fd == fd) {
+        CF_LOG_INFO("coordinator: requeueing run " << it->first
+                                                   << " from closed worker");
+        im.pending.push_front(it->first);
+        ++requeued_;
+        it = im.leases.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    im.conns.erase(fd);
+  };
+
+  auto mark_done_if_complete = [&] {
+    if (!im.done && im.completed == im.plan.size()) {
+      im.done = true;
+      im.drain_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 im.options.drain_seconds));
+    }
+  };
+
+  /// Handle one completed RESULT payload; false → protocol violation,
+  /// close the connection.
+  auto handle_result = [&](Impl::Conn& conn, const std::string& payload) {
+    RunRecord record;
+    try {
+      record = parse_run_record(payload);
+    } catch (const std::exception& e) {
+      CF_LOG_WARN("coordinator: unparseable run record: " << e.what());
+      (void)conn.socket.send_all("ERR malformed run record\n");
+      return false;
+    }
+    const std::size_t idx = record.result.run_index;
+    if (idx >= im.plan.size() || !(record.key == im.keys[idx])) {
+      // A worker on a different plan (other spec text, other binary) can
+      // never corrupt the result set: its keys cannot match ours.
+      CF_LOG_WARN("coordinator: rejecting record with mismatched key for run "
+                  << idx);
+      (void)conn.socket.send_all("ERR run key does not match the plan\n");
+      return false;
+    }
+    if (im.have[idx] != 0) {
+      ++duplicates_;
+      return conn.socket.send_all("DUP\n");
+    }
+    // First completion wins, whoever delivers it — including a worker whose
+    // lease was already revoked. Re-label with this plan's metadata and
+    // keep the computed outcome, mirroring the SweepRunner cache merge.
+    RunResult merged = im.plan.labelled_result(idx);
+    merged.seed = record.result.seed;
+    merged.metrics = std::move(record.result.metrics);
+    merged.telemetry = record.result.telemetry;
+    merged.error = std::move(record.result.error);
+    if (im.store) im.store->put(im.keys[idx], merged);
+    im.leases.erase(idx);
+    if (im.options.on_result) im.options.on_result(merged);
+    im.results[idx] = std::move(merged);
+    im.have[idx] = 1;
+    ++im.completed;
+    ++executed_;
+    mark_done_if_complete();
+    return conn.socket.send_all("OK\n");
+  };
+
+  /// Handle one protocol line; false → close the connection (either a
+  /// violation or an orderly DONE hand-off).
+  auto handle_line = [&](Impl::Conn& conn, const std::string& line) {
+    if (!conn.hello) {
+      if (line == std::string("HELLO ") + kSweepProtocolVersion) {
+        conn.hello = true;
+        ++workers_seen_;
+        return conn.socket.send_all(im.plan_message);
+      }
+      (void)conn.socket.send_all("ERR expected HELLO " +
+                                 std::string(kSweepProtocolVersion) + "\n");
+      return false;
+    }
+    if (line == "PING") return conn.socket.send_all("PONG\n");
+    if (line == "NEXT") {
+      if (im.completed == im.plan.size()) {
+        // Orderly completion: the worker disconnects after reading DONE.
+        (void)conn.socket.send_all("DONE\n");
+        return false;
+      }
+      // A requeued run can complete before it is re-granted (its original
+      // worker delivered late); skip those so no one re-executes a run the
+      // sweep already has.
+      while (!im.pending.empty() && im.have[im.pending.front()] != 0) {
+        im.pending.pop_front();
+      }
+      if (im.pending.empty()) return conn.socket.send_all("WAIT\n");
+      const std::size_t idx = im.pending.front();
+      im.pending.pop_front();
+      im.leases[idx] =
+          Impl::Lease{conn.socket.fd(), Clock::now() + lease_duration};
+      return conn.socket.send_all("RUN " + std::to_string(idx) + "\n");
+    }
+    if (line.rfind("RESULT ", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(line.c_str() + 7, &end, 10);
+      if (end == line.c_str() + 7 || *end != '\0' || n == 0 ||
+          n > kMaxResultBytes) {
+        (void)conn.socket.send_all("ERR bad RESULT length\n");
+        return false;
+      }
+      conn.payload_remaining = static_cast<std::size_t>(n);
+      conn.payload.clear();
+      return true;
+    }
+    (void)conn.socket.send_all("ERR unknown message\n");
+    return false;
+  };
+
+  /// Drain conn.inbuf: raw payload bytes first, then complete lines.
+  auto process_buffer = [&](Impl::Conn& conn) {
+    while (true) {
+      if (conn.payload_remaining > 0) {
+        const std::size_t take =
+            std::min(conn.payload_remaining, conn.inbuf.size());
+        conn.payload.append(conn.inbuf, 0, take);
+        conn.inbuf.erase(0, take);
+        conn.payload_remaining -= take;
+        if (conn.payload_remaining > 0) return true;  // need more bytes
+        if (!handle_result(conn, conn.payload)) return false;
+        continue;
+      }
+      const auto newline = conn.inbuf.find('\n');
+      if (newline == std::string::npos) return true;
+      const std::string line = conn.inbuf.substr(0, newline);
+      conn.inbuf.erase(0, newline + 1);
+      if (!handle_line(conn, line)) return false;
+    }
+  };
+
+  while (true) {
+    const Clock::time_point now = Clock::now();
+    if (im.done &&
+        (now >= im.drain_deadline ||
+         (im.conns.empty() && workers_seen_ > 0))) {
+      break;
+    }
+
+    // Revoke leases whose workers went silent past the timeout; the runs
+    // go to the queue head so the next idle worker steals them.
+    for (auto it = im.leases.begin(); it != im.leases.end();) {
+      if (now >= it->second.deadline) {
+        CF_LOG_WARN("coordinator: lease on run "
+                    << it->first << " timed out; requeueing");
+        im.pending.push_front(it->first);
+        ++requeued_;
+        it = im.leases.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Sleep until traffic, the nearest lease deadline, or the drain
+    // deadline — whichever comes first.
+    Clock::time_point wake = Clock::time_point::max();
+    for (const auto& [idx, lease] : im.leases) {
+      wake = std::min(wake, lease.deadline);
+    }
+    if (im.done) wake = std::min(wake, im.drain_deadline);
+    int timeout_ms = -1;
+    if (wake != Clock::time_point::max()) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(wake - now);
+      timeout_ms = left.count() <= 0
+                       ? 0
+                       : static_cast<int>(
+                             std::min<long long>(left.count() + 1, 60000));
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(im.conns.size() + 1);
+    fds.push_back(pollfd{im.listener.fd(), POLLIN, 0});
+    for (const auto& [fd, conn] : im.conns) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      CF_LOG_ERROR("coordinator: poll failed; shutting down");
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      util::Socket accepted = im.listener.accept();
+      if (accepted.valid()) {
+        const int fd = accepted.fd();
+        im.conns.emplace(fd, Impl::Conn{std::move(accepted), {}, false, 0,
+                                        {}});
+      }
+    }
+
+    for (std::size_t k = 1; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const int fd = fds[k].fd;
+      const auto it = im.conns.find(fd);
+      if (it == im.conns.end()) continue;
+      Impl::Conn& conn = it->second;
+      const util::IoStatus status = conn.socket.recv_some(conn.inbuf, 0.0);
+      if (status == util::IoStatus::kTimeout) continue;  // spurious wakeup
+      if (status != util::IoStatus::kOk) {
+        close_conn(fd);
+        continue;
+      }
+      // Any traffic from a worker proves it alive: refresh its leases.
+      const Clock::time_point fresh = Clock::now() + lease_duration;
+      for (auto& [idx, lease] : im.leases) {
+        if (lease.fd == fd) lease.deadline = fresh;
+      }
+      if (!process_buffer(conn)) close_conn(fd);
+    }
+  }
+
+  im.listener.close();
+  im.conns.clear();
+
+  CF_ENSURES_MSG(im.completed == im.plan.size(),
+                 "coordinator exited with incomplete results");
+  return std::move(im.results);
+}
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,137 @@
+// CreditFlow scenario engine: the work-stealing sweep coordinator.
+//
+// A Coordinator owns a SweepPlan and hands out its run indices dynamically
+// to any number of remote workers over a minimal line-based TCP protocol,
+// replacing static `--shard I/N` partitioning: a slow or dead worker's
+// outstanding leases flow back into the queue (heartbeat + lease timeout,
+// immediate on disconnect), so fast machines steal the stragglers' work
+// and the sweep finishes at the speed of the aggregate fleet, not its
+// slowest member.
+//
+// Determinism contract — identical to shard-and-merge: a run is a pure
+// function of the plan entry, results are merged by run_index, and
+// completed runs travel as the PR-3 run-record interchange (shortest
+// round-trip doubles), so the coordinator's aggregate CSV/JSON and per-run
+// records are byte-identical to a single-process ThreadPoolExecutor run of
+// the same spec — regardless of worker count, scheduling, disconnects,
+// lease reassignment, or duplicate deliveries. The first completion of a
+// RunKey wins; every later delivery of that key is acknowledged and
+// discarded, so a killed worker never loses a run (its lease is re-queued)
+// and never duplicates one (its late result is a no-op).
+//
+// Wire protocol (newline-delimited ASCII; payloads length-prefixed):
+//
+//   worker → HELLO creditflow-sweep-1
+//   coord  → PLAN <lease_timeout_ms> <spec_bytes> <sweep_bytes>
+//            followed by exactly spec_bytes + sweep_bytes of raw text
+//            (ScenarioSpec::serialize ‖ SweepSpec::serialize); the worker
+//            rebuilds the identical SweepPlan from it
+//   worker → NEXT                 request a lease
+//   coord  → RUN <run_index>      lease granted (refreshed by any traffic)
+//          | WAIT                 nothing grantable now — retry shortly
+//          | DONE                 sweep complete — disconnect
+//   worker → PING                 heartbeat (keeps leases alive mid-run)
+//   coord  → PONG
+//   worker → RESULT <nbytes>      followed by nbytes of run-record JSONL
+//   coord  → OK                   first completion of this run — recorded
+//          | DUP                  already have it — discarded
+//   coord  → ERR <message>        protocol violation; connection closed
+//
+// The coordinator validates every delivered record's RunKey against its
+// own plan.key(run_index), so a worker built from a different binary or
+// handed a different spec cannot corrupt the result set — its delivery is
+// rejected and the connection dropped.
+//
+// The shared content-addressed RunStore (store.hpp) plugs in underneath:
+// keys already stored never get leased (they are recalled as cache hits,
+// exactly like SweepRunner), and every fresh record is appended as it
+// streams in, so a killed *coordinator* restarted on the same cache
+// directory re-executes only what the store has not yet seen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/executor.hpp"
+#include "scenario/plan.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+
+namespace creditflow::scenario {
+
+/// The protocol version token exchanged in HELLO; bumped whenever the wire
+/// format changes incompatibly.
+inline constexpr const char* kSweepProtocolVersion = "creditflow-sweep-1";
+
+/// Serves a SweepPlan to socket workers and merges their results.
+class Coordinator {
+ public:
+  struct Options {
+    /// Bind address. The loopback default keeps a laptop sweep private;
+    /// bind "0.0.0.0" to accept workers from other machines.
+    std::string host = "127.0.0.1";
+    /// Bind port; 0 picks a free one (read it back via port()).
+    std::uint16_t port = 0;
+
+    /// A lease not refreshed by any traffic from its worker within this
+    /// window is revoked and re-queued for the next NEXT request. Workers
+    /// heartbeat at a fraction of this (announced in PLAN), so only a
+    /// dead, wedged, or partitioned worker ever times out.
+    double lease_timeout_seconds = 30.0;
+
+    /// After the last run completes, keep answering stragglers (NEXT →
+    /// DONE, RESULT → DUP) for at most this long before closing up.
+    double drain_seconds = 1.0;
+
+    /// Shared content-addressed run cache; empty disables it. Stored keys
+    /// are never leased; fresh records are appended as they arrive.
+    std::string cache_dir;
+
+    /// Called for each completed run — cache hits first (telemetry
+    /// .from_cache set), then fresh completions in arrival order. Runs on
+    /// the coordinator's serving thread; progress reporting only.
+    std::function<void(const RunResult&)> on_result;
+  };
+
+  /// Binds and listens immediately (so workers can connect before run()),
+  /// but serves nothing until run() is called. Throws util::SocketError
+  /// when the address cannot be bound.
+  Coordinator(ScenarioSpec base, SweepSpec sweep, Options options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The bound port.
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Serve until every run of the plan has exactly one result, then drain
+  /// and return the results ordered by run_index — the same vector a
+  /// ThreadPoolExecutor run of the plan would produce. Callable once.
+  [[nodiscard]] std::vector<RunResult> run();
+
+  /// Runs answered by the cache / completed by workers in run().
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::size_t executed() const { return executed_; }
+  /// Leases revoked (disconnect or timeout) and re-queued.
+  [[nodiscard]] std::size_t requeued() const { return requeued_; }
+  /// Deliveries discarded because the run was already complete.
+  [[nodiscard]] std::size_t duplicates() const { return duplicates_; }
+  /// Distinct connections that completed the HELLO handshake.
+  [[nodiscard]] std::size_t workers_seen() const { return workers_seen_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+  std::size_t cache_hits_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t requeued_ = 0;
+  std::size_t duplicates_ = 0;
+  std::size_t workers_seen_ = 0;
+};
+
+}  // namespace creditflow::scenario

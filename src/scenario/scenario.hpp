@@ -5,16 +5,20 @@
 // parameter-grid expansion with multi-seed replication (sweep.hpp), the
 // sweep execution API — content-addressed run plans (plan.hpp), executors
 // (executor.hpp), the on-disk run cache (store.hpp), and the SweepRunner
-// facade over all three (runner.hpp) — and mean ± CI aggregation with
-// CSV/JSON emission (result.hpp).
+// facade over all three (runner.hpp) — mean ± CI aggregation with
+// CSV/JSON emission (result.hpp), and the distributed work-stealing
+// layer: the socket coordinator (coordinator.hpp) and its workers
+// (worker.hpp).
 #pragma once
 
-#include "scenario/executor.hpp"  // IWYU pragma: export
-#include "scenario/params.hpp"    // IWYU pragma: export
-#include "scenario/plan.hpp"      // IWYU pragma: export
-#include "scenario/registry.hpp"  // IWYU pragma: export
-#include "scenario/result.hpp"    // IWYU pragma: export
-#include "scenario/runner.hpp"    // IWYU pragma: export
-#include "scenario/spec.hpp"      // IWYU pragma: export
-#include "scenario/store.hpp"     // IWYU pragma: export
-#include "scenario/sweep.hpp"     // IWYU pragma: export
+#include "scenario/coordinator.hpp"  // IWYU pragma: export
+#include "scenario/executor.hpp"     // IWYU pragma: export
+#include "scenario/params.hpp"       // IWYU pragma: export
+#include "scenario/plan.hpp"         // IWYU pragma: export
+#include "scenario/registry.hpp"     // IWYU pragma: export
+#include "scenario/result.hpp"       // IWYU pragma: export
+#include "scenario/runner.hpp"       // IWYU pragma: export
+#include "scenario/spec.hpp"         // IWYU pragma: export
+#include "scenario/store.hpp"        // IWYU pragma: export
+#include "scenario/sweep.hpp"        // IWYU pragma: export
+#include "scenario/worker.hpp"       // IWYU pragma: export

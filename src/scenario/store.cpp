@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 #include "util/math.hpp"
 
 namespace creditflow::scenario {
@@ -255,12 +256,38 @@ RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
   CF_EXPECTS_MSG(!dir_.empty(), "run store directory must be non-empty");
   std::filesystem::create_directories(dir_);
   path_ = (std::filesystem::path(dir_) / "runs.jsonl").string();
-  if (std::filesystem::exists(path_)) {
-    for (auto& record : read_run_records(path_)) {
-      // First write wins: concurrent shards may append the same key; every
-      // copy of a key carries identical bytes, so either choice agrees.
+  if (!std::filesystem::exists(path_)) return;
+
+  // Lenient load, unlike the strict read_run_records used by --merge: a
+  // cache can carry a truncated or corrupted trailing line (a writer
+  // killed mid-append, a torn concurrent write), and that must cost one
+  // warning and one recomputed run — never the whole store, and never a
+  // crash. The key map dedups, so a torn duplicate can't double-count.
+  std::ifstream in(path_);
+  CF_EXPECTS_MSG(in.good(), "cannot read run store " + path_);
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t skipped = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    needs_newline_ = in.eof();  // final line arrived without a terminator
+    if (line.empty()) continue;
+    try {
+      RunRecord record = parse_run_record(line);
+      // First write wins: concurrent executors may append the same key;
+      // every copy of a key carries identical bytes, so either choice
+      // agrees.
       entries_.emplace(record.key, std::move(record.result));
+    } catch (const std::exception& e) {
+      ++skipped;
+      CF_LOG_WARN("run store " << path_ << ": skipping malformed line "
+                               << line_number << " (" << e.what() << ")");
     }
+  }
+  if (skipped > 0) {
+    CF_LOG_WARN("run store " << path_ << ": " << skipped
+                             << " malformed line(s) ignored; those runs "
+                                "will be recomputed");
   }
 }
 
@@ -277,8 +304,19 @@ void RunStore::put(const RunKey& key, const RunResult& result) {
     append_.open(path_, std::ios::app);
     CF_EXPECTS_MSG(append_.good(), "cannot append to run store " + path_);
   }
-  append_ << serialize_run_record(key, result) << '\n';
+  // One pre-composed buffer per record, flushed immediately: with O_APPEND
+  // semantics the line reaches the file in a single write, so concurrent
+  // executors appending to a shared store interleave at record boundaries,
+  // not mid-line. A leading newline first repairs a truncated tail left by
+  // a killed writer — otherwise the fresh record would fuse with the torn
+  // line and both would be lost to the lenient loader.
+  std::string buffer;
+  if (needs_newline_) buffer += '\n';
+  buffer += serialize_run_record(key, result);
+  buffer += '\n';
+  append_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   append_.flush();
+  needs_newline_ = false;
   CF_EXPECTS_MSG(append_.good(), "failed writing run store " + path_);
 
   RunResult stored = result;

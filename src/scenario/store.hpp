@@ -56,6 +56,13 @@ struct RunRecord {
 /// invocations and survives process restarts. Only successful runs are
 /// stored: errors are cheap to recompute and must not outlive the code
 /// that produced them.
+///
+/// Robustness: loading skips (and warns about) malformed lines — a
+/// truncated tail from a killed writer costs one recomputed run, never the
+/// store; the next append repairs the missing terminator first. Records are
+/// appended in a single write each, so concurrent executors sharing a store
+/// directory interleave at record boundaries; duplicate keys from that race
+/// carry identical bytes and dedup on load (first wins).
 class RunStore {
  public:
   explicit RunStore(std::string dir);
@@ -82,6 +89,9 @@ class RunStore {
   /// Lazily-opened append stream, kept open across put()s (each record is
   /// flushed, so a crash loses at most the in-flight line).
   std::ofstream append_;
+  /// The existing file ends without '\n' (truncated tail); the first
+  /// append must start on a fresh line.
+  bool needs_newline_ = false;
 };
 
 }  // namespace creditflow::scenario

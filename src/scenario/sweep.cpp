@@ -1,10 +1,12 @@
 #include "scenario/sweep.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
 #include "scenario/params.hpp"
 #include "util/assert.hpp"
+#include "util/math.hpp"
 #include "util/rng.hpp"
 
 namespace creditflow::scenario {
@@ -65,6 +67,54 @@ SweepAxis SweepAxis::parse(const std::string& text) {
   }
   CF_ENSURES(!axis.values.empty());
   return axis;
+}
+
+std::string SweepSpec::serialize() const {
+  std::string out = "seeds " + std::to_string(seeds) + "\n";
+  for (const auto& axis : axes) {
+    out += "axis " + axis.param + "=";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i > 0) out += ',';
+      out += util::format_double(axis.values[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+SweepSpec SweepSpec::parse(const std::string& text) {
+  SweepSpec sweep;
+  bool saw_seeds = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto end = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, end == std::string::npos ? std::string::npos
+                                                  : end - pos);
+    pos = end == std::string::npos ? text.size() : end + 1;
+    if (line.empty()) continue;
+    if (line.rfind("seeds ", 0) == 0) {
+      char* parse_end = nullptr;
+      const char* begin = line.c_str() + 6;
+      // Digits only, and no ERANGE saturation: strtoull silently wraps a
+      // leading minus ("seeds -1") and clamps overflow ("seeds 2e19+") to
+      // 2^64-1 — both must reject, not become a 2^64-run plan.
+      const bool starts_with_digit = *begin >= '0' && *begin <= '9';
+      errno = 0;
+      const unsigned long long v = std::strtoull(begin, &parse_end, 10);
+      CF_EXPECTS_MSG(starts_with_digit && *parse_end == '\0' && v >= 1 &&
+                         errno != ERANGE,
+                     "bad sweep seeds line: " + line);
+      sweep.seeds = static_cast<std::size_t>(v);
+      saw_seeds = true;
+    } else if (line.rfind("axis ", 0) == 0) {
+      sweep.axes.push_back(SweepAxis::parse(line.substr(5)));
+    } else {
+      CF_EXPECTS_MSG(false, "bad sweep line: " + line);
+    }
+  }
+  CF_EXPECTS_MSG(saw_seeds, "sweep text is missing the seeds line");
+  return sweep;
 }
 
 std::size_t SweepSpec::num_points() const {

@@ -34,6 +34,16 @@ struct SweepSpec {
   [[nodiscard]] std::size_t num_points() const;
   [[nodiscard]] std::size_t num_runs() const { return num_points() * seeds; }
 
+  /// Line-oriented text form ("seeds N" + one "axis key=v1,v2,…" line per
+  /// axis, values in shortest round-trip form). parse(serialize())
+  /// reproduces the sweep bit-exactly — the distributed-sweep wire format,
+  /// with the same cross-process stability contract as
+  /// ScenarioSpec::serialize.
+  [[nodiscard]] std::string serialize() const;
+  /// Inverse of serialize(); throws util::PreconditionError on malformed
+  /// input or unknown axis parameters.
+  [[nodiscard]] static SweepSpec parse(const std::string& text);
+
   /// Axis values at grid point `point` (size == axes.size(); first axis
   /// varies slowest). point < num_points().
   [[nodiscard]] std::vector<double> point(std::size_t point_index) const;

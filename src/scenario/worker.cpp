@@ -1,0 +1,266 @@
+#include "scenario/worker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "scenario/coordinator.hpp"
+#include "scenario/store.hpp"
+#include "util/logging.hpp"
+#include "util/socket.hpp"
+
+namespace creditflow::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SessionOutcome {
+  std::size_t executed = 0;
+  std::size_t duplicates = 0;
+  bool saw_done = false;
+  std::string error;
+};
+
+/// Connect with retries until `timeout_seconds` elapses, so workers may
+/// start before the coordinator is listening.
+util::Socket connect_with_retry(const std::string& host, std::uint16_t port,
+                                double timeout_seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  while (true) {
+    try {
+      return util::Socket::connect(host, port, 1.0);
+    } catch (const util::SocketError&) {
+      if (Clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+/// One lease loop over one connection. `io_mutex` in the session (not
+/// shared across sessions) serializes request/response pairs between the
+/// main loop and the heartbeat thread — the coordinator answers strictly
+/// in order, so whoever holds the mutex reads its own reply.
+SessionOutcome run_session(const std::string& host, std::uint16_t port,
+                           const WorkerOptions& options, Executor& executor,
+                           std::mutex& callback_mutex) {
+  SessionOutcome outcome;
+  util::Socket socket;
+  try {
+    socket = connect_with_retry(host, port, options.connect_timeout_seconds);
+  } catch (const util::SocketError& e) {
+    outcome.error = e.what();
+    return outcome;
+  }
+  util::SocketReader reader(socket);
+  const double io_timeout = options.io_timeout_seconds;
+
+  // ---- Handshake: HELLO → PLAN + payload → rebuild the plan. ------------
+  std::string line;
+  if (!socket.send_all(std::string("HELLO ") + kSweepProtocolVersion +
+                       "\n") ||
+      reader.read_line(line, io_timeout) != util::IoStatus::kOk) {
+    outcome.error = "handshake failed: no PLAN from coordinator";
+    return outcome;
+  }
+  long long lease_ms = 0;
+  std::size_t spec_len = 0;
+  std::size_t sweep_len = 0;
+  {
+    const char* cursor = line.c_str();
+    if (line.rfind("PLAN ", 0) != 0) {
+      outcome.error = "handshake failed: " + line;
+      return outcome;
+    }
+    char* end = nullptr;
+    lease_ms = std::strtoll(cursor + 5, &end, 10);
+    spec_len = std::strtoull(end, &end, 10);
+    sweep_len = std::strtoull(end, &end, 10);
+    if (lease_ms <= 0 || spec_len == 0 || *end != '\0') {
+      outcome.error = "malformed PLAN header: " + line;
+      return outcome;
+    }
+  }
+  std::string spec_text;
+  std::string sweep_text;
+  if (reader.read_exact(spec_text, spec_len, io_timeout) !=
+          util::IoStatus::kOk ||
+      reader.read_exact(sweep_text, sweep_len, io_timeout) !=
+          util::IoStatus::kOk) {
+    outcome.error = "short PLAN payload";
+    return outcome;
+  }
+  std::optional<SweepPlan> plan;
+  try {
+    plan.emplace(ScenarioSpec::parse(spec_text), SweepSpec::parse(sweep_text));
+  } catch (const std::exception& e) {
+    outcome.error = std::string("cannot parse the coordinator's plan: ") +
+                    e.what();
+    return outcome;
+  }
+
+  // ---- Heartbeat: keep leases alive while a run executes. ---------------
+  const double heartbeat =
+      options.heartbeat_seconds > 0.0
+          ? options.heartbeat_seconds
+          : std::clamp(static_cast<double>(lease_ms) / 4000.0, 0.05, 5.0);
+  std::mutex io_mutex;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> broken{false};
+  std::thread heartbeat_thread([&] {
+    auto next_beat = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            heartbeat));
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (Clock::now() < next_beat) continue;
+      next_beat = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         heartbeat));
+      const std::lock_guard<std::mutex> lock(io_mutex);
+      if (stop.load()) return;
+      std::string pong;
+      if (!socket.send_all("PING\n") ||
+          reader.read_line(pong, io_timeout) != util::IoStatus::kOk ||
+          pong != "PONG") {
+        broken.store(true);
+        return;
+      }
+    }
+  });
+  const auto finish = [&](SessionOutcome result) {
+    stop.store(true);
+    heartbeat_thread.join();
+    return result;
+  };
+
+  // ---- Lease loop. ------------------------------------------------------
+  ExecuteOptions exec_options;
+  exec_options.jobs = 1;  // one run per session; sessions are the fan-out
+  exec_options.keep_reports = false;
+  while (true) {
+    if (broken.load()) {
+      outcome.error = "lost the coordinator mid-session";
+      return finish(std::move(outcome));
+    }
+    std::string reply;
+    {
+      const std::lock_guard<std::mutex> lock(io_mutex);
+      if (!socket.send_all("NEXT\n") ||
+          reader.read_line(reply, io_timeout) != util::IoStatus::kOk) {
+        outcome.error = "coordinator stopped answering NEXT";
+        return finish(std::move(outcome));
+      }
+    }
+    if (reply == "DONE") {
+      outcome.saw_done = true;
+      return finish(std::move(outcome));
+    }
+    if (reply == "WAIT") {
+      std::this_thread::sleep_for(std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(
+          std::chrono::duration<double>(options.wait_sleep_seconds)));
+      continue;
+    }
+    if (reply.rfind("RUN ", 0) != 0) {
+      outcome.error = "unexpected coordinator reply: " + reply;
+      return finish(std::move(outcome));
+    }
+    char* end = nullptr;
+    const std::size_t run_index = std::strtoull(reply.c_str() + 4, &end, 10);
+    if (end == reply.c_str() + 4 || *end != '\0' ||
+        run_index >= plan->size()) {
+      outcome.error = "bad lease: " + reply;
+      return finish(std::move(outcome));
+    }
+
+    // Execute through the Executor interface — the same contract the
+    // in-process thread pool fulfils, so a run computed here is the run a
+    // local sweep would have computed.
+    const std::size_t indices[1] = {run_index};
+    std::vector<RunResult> computed =
+        executor.execute(*plan, indices, exec_options);
+    RunResult result = std::move(computed.at(0));
+    const std::string record =
+        serialize_run_record(plan->key(run_index), result);
+    std::string ack;
+    {
+      const std::lock_guard<std::mutex> lock(io_mutex);
+      if (!socket.send_all("RESULT " + std::to_string(record.size()) + "\n" +
+                           record) ||
+          reader.read_line(ack, io_timeout) != util::IoStatus::kOk) {
+        outcome.error = "coordinator vanished while delivering run " +
+                        std::to_string(run_index);
+        return finish(std::move(outcome));
+      }
+    }
+    if (ack == "OK") {
+      ++outcome.executed;
+      if (options.on_result) {
+        const std::lock_guard<std::mutex> lock(callback_mutex);
+        options.on_result(result);
+      }
+    } else if (ack == "DUP") {
+      // The coordinator already had this run (our lease was stolen after a
+      // stall, and the thief delivered first). Not an error: the sweep's
+      // byte-identical output is already safe.
+      ++outcome.duplicates;
+    } else {
+      outcome.error = "coordinator rejected run " +
+                      std::to_string(run_index) + ": " + ack;
+      return finish(std::move(outcome));
+    }
+  }
+}
+
+}  // namespace
+
+WorkerReport run_worker(const std::string& host, std::uint16_t port,
+                        const WorkerOptions& options) {
+  const std::size_t sessions =
+      options.sessions != 0
+          ? options.sessions
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  ThreadPoolExecutor default_executor;
+  Executor& executor = options.executor != nullptr ? *options.executor
+                                                   : default_executor;
+
+  std::vector<SessionOutcome> outcomes(sessions);
+  std::mutex callback_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      outcomes[s] =
+          run_session(host, port, options, executor, callback_mutex);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  WorkerReport report;
+  for (const auto& outcome : outcomes) {
+    report.runs_executed += outcome.executed;
+    report.duplicates += outcome.duplicates;
+    if (outcome.saw_done) ++report.sessions_completed;
+    if (!outcome.saw_done && !outcome.error.empty() &&
+        report.error.empty()) {
+      report.error = outcome.error;
+    }
+  }
+  report.completed = report.sessions_completed > 0;
+  if (report.completed) {
+    // The sweep finished; a sibling session racing the shutdown (its NEXT
+    // crossed the coordinator's drain) is not a failure.
+    report.error.clear();
+  }
+  return report;
+}
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,82 @@
+// CreditFlow scenario engine: the sweep worker — the client half of the
+// work-stealing coordinator protocol (coordinator.hpp documents the wire
+// format).
+//
+// A worker process runs `sessions` parallel lease loops, each over its own
+// TCP connection: HELLO → receive the plan (spec + sweep text, from which
+// the worker rebuilds the coordinator's exact SweepPlan) → repeatedly NEXT
+// for a lease, execute the granted run through a scenario::Executor, and
+// stream the finished run record back. A background heartbeat per session
+// keeps leases alive across long runs; if the worker dies instead, the
+// coordinator's lease timeout (or the broken connection) re-queues its
+// work for the surviving fleet.
+//
+// Workers carry no sweep-specific state of their own — any machine with
+// the binary joins a sweep knowing only HOST:PORT, and the coordinator's
+// RunKey validation guarantees a worker built from mismatched code cannot
+// contribute corrupt results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "scenario/executor.hpp"
+
+namespace creditflow::scenario {
+
+/// Knobs for one worker process.
+struct WorkerOptions {
+  /// Parallel lease loops (connections); 0 → hardware concurrency. Each
+  /// session executes one run at a time, so this is the worker's degree of
+  /// parallelism.
+  std::size_t sessions = 1;
+
+  /// How runs are computed; nullptr → a shared in-process
+  /// ThreadPoolExecutor (each session executes its single leased run
+  /// inline). Not owned; must outlive run_worker.
+  Executor* executor = nullptr;
+
+  /// Heartbeat period while executing; 0 → a quarter of the lease timeout
+  /// the coordinator announces in PLAN. Tests inject large values to
+  /// provoke lease-timeout stealing.
+  double heartbeat_seconds = 0.0;
+
+  /// Sleep between NEXT retries while the coordinator answers WAIT (all
+  /// remaining runs leased elsewhere) — the window in which a revoked
+  /// lease is stolen.
+  double wait_sleep_seconds = 0.05;
+
+  /// Deadline for any single protocol reply.
+  double io_timeout_seconds = 60.0;
+
+  /// Total window for the initial connect, retried until it succeeds —
+  /// lets workers start before the coordinator finishes binding.
+  double connect_timeout_seconds = 10.0;
+
+  /// Called after each run this worker computed and the coordinator
+  /// accepted (serialized across sessions; progress reporting only).
+  std::function<void(const RunResult&)> on_result;
+};
+
+/// What a worker process did, aggregated over its sessions.
+struct WorkerReport {
+  std::size_t runs_executed = 0;   ///< completions the coordinator recorded
+  std::size_t duplicates = 0;      ///< completions it already had (DUP)
+  std::size_t sessions_completed = 0;  ///< sessions that read DONE
+  /// True when the sweep finished while this worker was attached (at least
+  /// one session read DONE). False means the coordinator vanished first.
+  bool completed = false;
+  /// First hard session error (handshake failure, protocol violation,
+  /// dead coordinator mid-lease); empty when everything ended orderly.
+  std::string error;
+};
+
+/// Run a worker against the coordinator at host:port until the sweep
+/// completes (DONE) or the connection is lost. Blocks; spawns
+/// options.sessions internal threads.
+[[nodiscard]] WorkerReport run_worker(const std::string& host,
+                                      std::uint16_t port,
+                                      const WorkerOptions& options = {});
+
+}  // namespace creditflow::scenario

@@ -1,0 +1,310 @@
+#include "util/socket.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+// macOS has no MSG_NOSIGNAL; SO_NOSIGPIPE (set at creation below) covers
+// the same write-to-dead-peer case there.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace creditflow::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void configure_stream_socket(int fd) {
+  // The protocol is many tiny request/response lines; never batch them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+#ifdef SO_NOSIGPIPE
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+}
+
+struct ResolvedAddress {
+  sockaddr_storage storage{};
+  socklen_t length = 0;
+  int family = AF_INET;
+};
+
+/// Every address `host` resolves to, in getaddrinfo order. Callers try
+/// them in turn (a dual-stack name may sort an unreachable family first —
+/// e.g. an AAAA record while the peer listens on IPv4 only).
+std::vector<ResolvedAddress> resolve(const std::string& host,
+                                     std::uint16_t port, bool for_bind) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_bind) hints.ai_flags = AI_PASSIVE;
+  addrinfo* list = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &list);
+  if (rc != 0 || list == nullptr) {
+    throw SocketError("cannot resolve " + host + ":" + service + ": " +
+                      ::gai_strerror(rc));
+  }
+  std::vector<ResolvedAddress> out;
+  for (const addrinfo* entry = list; entry != nullptr;
+       entry = entry->ai_next) {
+    ResolvedAddress addr;
+    std::memcpy(&addr.storage, entry->ai_addr, entry->ai_addrlen);
+    addr.length = static_cast<socklen_t>(entry->ai_addrlen);
+    addr.family = entry->ai_family;
+    out.push_back(addr);
+  }
+  ::freeaddrinfo(list);
+  return out;
+}
+
+}  // namespace
+
+bool wait_readable(int fd, double timeout_seconds) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int timeout_ms =
+      timeout_seconds < 0.0
+          ? -1
+          : static_cast<int>(timeout_seconds * 1000.0 + 0.999);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  return rc > 0;
+}
+
+// ---- Socket -----------------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+/// Non-blocking connect to one resolved address, bounded by the timeout.
+Socket connect_one(const ResolvedAddress& addr, const std::string& host,
+                   std::uint16_t port, double timeout_seconds) {
+  const int fd = ::socket(addr.family, SOCK_STREAM, 0);
+  if (fd < 0) throw SocketError("socket(): " + std::string(strerror(errno)));
+  Socket socket(fd);
+  configure_stream_socket(fd);
+
+  // Non-blocking connect bounded by the timeout, then back to blocking for
+  // the (poll-gated) I/O path.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr.storage),
+                     addr.length);
+  if (rc != 0 && errno != EINPROGRESS) {
+    throw SocketError("connect " + host + ":" + std::to_string(port) + ": " +
+                      strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        timeout_seconds < 0.0
+            ? -1
+            : static_cast<int>(timeout_seconds * 1000.0 + 0.999);
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      throw SocketError("connect " + host + ":" + std::to_string(port) +
+                        ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      throw SocketError("connect " + host + ":" + std::to_string(port) +
+                        ": " + strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return socket;
+}
+
+}  // namespace
+
+Socket Socket::connect(const std::string& host, std::uint16_t port,
+                       double timeout_seconds) {
+  // Try every resolved address in order: a dual-stack hostname often
+  // sorts a family the peer is not listening on first.
+  std::string last_error;
+  for (const ResolvedAddress& addr :
+       resolve(host, port, /*for_bind=*/false)) {
+    try {
+      return connect_one(addr, host, port, timeout_seconds);
+    } catch (const SocketError& e) {
+      last_error = e.what();
+    }
+  }
+  throw SocketError(last_error);
+}
+
+bool Socket::send_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+IoStatus Socket::recv_some(std::string& out, double timeout_seconds) {
+  if (fd_ < 0) return IoStatus::kError;
+  if (!wait_readable(fd_, timeout_seconds)) return IoStatus::kTimeout;
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return IoStatus::kError;
+  if (n == 0) return IoStatus::kEof;
+  out.append(chunk, static_cast<std::size_t>(n));
+  return IoStatus::kOk;
+}
+
+// ---- Listener ---------------------------------------------------------------
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::bind(const std::string& host, std::uint16_t port) {
+  Listener listener;
+  std::string last_error;
+  for (const ResolvedAddress& addr : resolve(host, port, /*for_bind=*/true)) {
+    const int fd = ::socket(addr.family, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = "socket(): " + std::string(strerror(errno));
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr.storage),
+               addr.length) != 0) {
+      last_error = "bind " + host + ":" + std::to_string(port) + ": " +
+                   strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    if (::listen(fd, 64) != 0) {
+      last_error = "listen: " + std::string(strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    listener.fd_ = fd;
+    break;
+  }
+  if (listener.fd_ < 0) throw SocketError(last_error);
+  const int fd = listener.fd_;
+  sockaddr_storage bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      listener.port_ =
+          ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      listener.port_ =
+          ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return listener;
+}
+
+Socket Listener::accept() {
+  if (fd_ < 0) return Socket();
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Socket();
+  configure_stream_socket(fd);
+  return Socket(fd);
+}
+
+// ---- SocketReader -----------------------------------------------------------
+
+IoStatus SocketReader::read_line(std::string& line, double timeout_seconds) {
+  const bool forever = timeout_seconds < 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             forever ? 0.0 : timeout_seconds));
+  while (true) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return IoStatus::kOk;
+    }
+    const double left =
+        forever ? -1.0
+                : std::chrono::duration<double>(deadline - Clock::now())
+                      .count();
+    if (!forever && left <= 0.0) return IoStatus::kTimeout;
+    const IoStatus status = socket_.recv_some(buffer_, left);
+    if (status != IoStatus::kOk) return status;
+  }
+}
+
+IoStatus SocketReader::read_exact(std::string& out, std::size_t n,
+                                  double timeout_seconds) {
+  const bool forever = timeout_seconds < 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             forever ? 0.0 : timeout_seconds));
+  while (buffer_.size() < n) {
+    const double left =
+        forever ? -1.0
+                : std::chrono::duration<double>(deadline - Clock::now())
+                      .count();
+    if (!forever && left <= 0.0) return IoStatus::kTimeout;
+    const IoStatus status = socket_.recv_some(buffer_, left);
+    if (status != IoStatus::kOk) return status;
+  }
+  out.assign(buffer_, 0, n);
+  buffer_.erase(0, n);
+  return IoStatus::kOk;
+}
+
+}  // namespace creditflow::util

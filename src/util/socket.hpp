@@ -1,0 +1,134 @@
+// CreditFlow: minimal POSIX TCP wrapper for the distributed sweep
+// coordinator and its workers.
+//
+// Deliberately small: RAII file descriptors, connect-with-timeout,
+// bind/listen/accept, send-all, and timeout-bounded receives, plus a
+// buffered line reader for the coordinator protocol's newline-delimited
+// messages. Everything is plain blocking I/O gated by poll(2); there is no
+// TLS, no name resolution beyond getaddrinfo, and no Windows support — the
+// sweep fleet this serves is trusted machines on a private network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace creditflow::util {
+
+/// Thrown when a socket cannot be created, bound, or connected. Runtime
+/// I/O on an established connection never throws — reads and writes report
+/// status codes so callers can treat a dead peer as an event, not an error.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Outcome of a timeout-bounded receive.
+enum class IoStatus {
+  kOk,       ///< data arrived (or the full request completed)
+  kEof,      ///< orderly shutdown by the peer
+  kTimeout,  ///< deadline passed with nothing to read
+  kError,    ///< connection reset or another hard failure
+};
+
+/// One connected TCP stream; move-only RAII over the descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected descriptor (e.g. from Listener::accept).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connect to host:port, waiting at most `timeout_seconds` for the
+  /// handshake. Throws SocketError on failure (including timeout).
+  [[nodiscard]] static Socket connect(const std::string& host,
+                                      std::uint16_t port,
+                                      double timeout_seconds);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Write all of `data`; false on any failure (a dead peer — with
+  /// SIGPIPE suppressed — reports here instead of killing the process).
+  [[nodiscard]] bool send_all(std::string_view data);
+
+  /// Append whatever is available (up to a few KiB) to `out`, waiting at
+  /// most `timeout_seconds` (0 polls; negative waits forever).
+  [[nodiscard]] IoStatus recv_some(std::string& out, double timeout_seconds);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind host:port (port 0 picks a free one — read it back via port())
+  /// and listen. Throws SocketError on failure.
+  [[nodiscard]] static Listener bind(const std::string& host,
+                                     std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The bound port (resolved after bind, so port-0 requests see the real
+  /// one).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void close();
+
+  /// Accept one pending connection; invalid Socket if none is pending or
+  /// the accept failed. Call after poll(2) reports the listener readable.
+  [[nodiscard]] Socket accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Buffered reader over a Socket for newline-delimited protocols with
+/// occasional length-prefixed raw payloads. Lines keep no trailing '\n'.
+class SocketReader {
+ public:
+  explicit SocketReader(Socket& socket) : socket_(socket) {}
+
+  /// Read one line, waiting at most `timeout_seconds` for the terminator.
+  [[nodiscard]] IoStatus read_line(std::string& line, double timeout_seconds);
+  /// Read exactly `n` raw bytes into `out` (replacing its contents).
+  [[nodiscard]] IoStatus read_exact(std::string& out, std::size_t n,
+                                    double timeout_seconds);
+
+ private:
+  Socket& socket_;
+  std::string buffer_;
+};
+
+/// True if `fd` becomes readable within `timeout_seconds` (negative waits
+/// forever).
+[[nodiscard]] bool wait_readable(int fd, double timeout_seconds);
+
+}  // namespace creditflow::util

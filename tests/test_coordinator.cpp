@@ -1,0 +1,508 @@
+// Tests for the work-stealing sweep coordinator and its socket workers:
+// the determinism-under-chaos contract. An in-process coordinator serves a
+// plan to worker threads over loopback TCP, and in every scenario — clean
+// multi-worker execution, a warm RunStore, a worker killed mid-run, a
+// worker whose heartbeats stall past the lease timeout, duplicate and
+// corrupt deliveries — the merged run-record set and the aggregate
+// CSV/JSON must be byte-identical to a single-process ThreadPoolExecutor
+// run of the same spec, with exactly one record per RunKey.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace creditflow::scenario {
+namespace {
+
+ScenarioSpec tiny_base() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.config.protocol.initial_peers = 40;
+  spec.config.protocol.max_peers = 40;
+  spec.config.protocol.initial_credits = 30;
+  spec.config.protocol.seed = 2012;
+  spec.config.horizon = 60.0;
+  spec.config.snapshot_interval = 15.0;
+  return spec;
+}
+
+SweepSpec tiny_sweep() {
+  SweepSpec sweep;
+  sweep.axes.push_back(SweepAxis::parse("credits=20,40"));
+  sweep.axes.push_back(SweepAxis::parse("tax.rate=0,0.2"));
+  sweep.seeds = 2;
+  return sweep;
+}
+
+/// A fresh (pre-cleaned) per-test scratch directory.
+std::filesystem::path scratch_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "creditflow_coordinator" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Every rendering whose bytes the distributed path must reproduce.
+struct Rendered {
+  std::string records;  ///< the merged run-record set, in run_index order
+  std::string runs_csv;
+  std::string aggregate_csv;
+  std::string aggregate_json;
+};
+
+Rendered render(const ScenarioSpec& base, const SweepSpec& sweep,
+                const std::vector<RunResult>& results) {
+  const SweepPlan plan(base, sweep);
+  Rendered out;
+  for (const auto& r : results) {
+    // Wall-clock/RSS telemetry is honestly machine- and run-dependent (two
+    // executions of the same run never time identically); every other
+    // record byte — key, metadata, params, metrics, rounds, error — must
+    // reproduce exactly, so zero the timing fields and compare the rest.
+    RunResult deterministic = r;
+    deterministic.telemetry.wall_seconds = 0.0;
+    deterministic.telemetry.purchase_phase_seconds = 0.0;
+    deterministic.telemetry.peak_rss_bytes = 0;
+    deterministic.telemetry.from_cache = false;
+    out.records += serialize_run_record(plan.key(r.run_index), deterministic);
+    out.records += '\n';
+  }
+  ResultSink sink;
+  sink.add_all(results);
+  out.runs_csv = sink.runs_csv();
+  out.aggregate_csv = sink.aggregate_csv();
+  out.aggregate_json = sink.aggregate_json();
+  return out;
+}
+
+void expect_identical(const Rendered& a, const Rendered& b) {
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.runs_csv, b.runs_csv);
+  EXPECT_EQ(a.aggregate_csv, b.aggregate_csv);
+  EXPECT_EQ(a.aggregate_json, b.aggregate_json);
+}
+
+/// The single-process reference: the in-process thread-pool executor.
+std::vector<RunResult> reference_results(const ScenarioSpec& base,
+                                         const SweepSpec& sweep) {
+  SweepRunner::Options options;
+  options.jobs = 1;
+  options.keep_reports = false;
+  SweepRunner runner(base, sweep, options);
+  return runner.run();
+}
+
+/// Runs Coordinator::run() on its own thread, capturing the results (or
+/// the error) for the test body to join on.
+class ServeThread {
+ public:
+  explicit ServeThread(Coordinator& coordinator)
+      : thread_([this, &coordinator] {
+          try {
+            results_ = coordinator.run();
+          } catch (const std::exception& e) {
+            error_ = e.what();
+          }
+        }) {}
+
+  std::vector<RunResult> join() {
+    thread_.join();
+    EXPECT_EQ(error_, "");
+    return std::move(results_);
+  }
+
+ private:
+  std::vector<RunResult> results_;
+  std::string error_;
+  std::thread thread_;
+};
+
+/// A hand-driven protocol client for fault injection: it speaks just
+/// enough of the wire format to take leases, deliver (or withhold, or
+/// duplicate, or corrupt) results, and vanish abruptly.
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port)
+      : socket_(util::Socket::connect("127.0.0.1", port, 5.0)),
+        reader_(socket_) {}
+
+  /// HELLO → PLAN; returns the plan the coordinator transmitted.
+  SweepPlan handshake() {
+    EXPECT_TRUE(socket_.send_all(std::string("HELLO ") +
+                                 kSweepProtocolVersion + "\n"));
+    const std::string header = read_line();
+    long long lease_ms = 0;
+    std::size_t spec_len = 0;
+    std::size_t sweep_len = 0;
+    EXPECT_EQ(std::sscanf(header.c_str(), "PLAN %lld %zu %zu", &lease_ms,
+                          &spec_len, &sweep_len),
+              3)
+        << header;
+    std::string spec_text;
+    std::string sweep_text;
+    EXPECT_EQ(reader_.read_exact(spec_text, spec_len, 5.0),
+              util::IoStatus::kOk);
+    EXPECT_EQ(reader_.read_exact(sweep_text, sweep_len, 5.0),
+              util::IoStatus::kOk);
+    return SweepPlan(ScenarioSpec::parse(spec_text),
+                     SweepSpec::parse(sweep_text));
+  }
+
+  /// Send one line, read one reply line.
+  std::string request(const std::string& line) {
+    EXPECT_TRUE(socket_.send_all(line + "\n"));
+    return read_line();
+  }
+
+  /// NEXT until a lease is granted (skipping WAIT); returns the run index.
+  std::size_t lease() {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const std::string reply = request("NEXT");
+      if (reply.rfind("RUN ", 0) == 0) {
+        return static_cast<std::size_t>(std::stoull(reply.substr(4)));
+      }
+      EXPECT_EQ(reply, "WAIT");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "no lease granted after 100 attempts";
+    return 0;
+  }
+
+  /// Deliver a pre-serialized run record; returns the coordinator's reply
+  /// (OK / DUP / ERR ...).
+  std::string deliver(const std::string& record) {
+    EXPECT_TRUE(socket_.send_all(
+        "RESULT " + std::to_string(record.size()) + "\n" + record));
+    return read_line();
+  }
+
+  /// Abrupt disconnect — the "kill -9 mid-run" a dead worker looks like.
+  void vanish() { socket_.close(); }
+
+ private:
+  std::string read_line() {
+    std::string line;
+    EXPECT_EQ(reader_.read_line(line, 5.0), util::IoStatus::kOk);
+    return line;
+  }
+
+  util::Socket socket_;
+  util::SocketReader reader_;
+};
+
+/// Compute the honest run record a correct worker would deliver for
+/// `run_index` of `plan`.
+std::string honest_record(const SweepPlan& plan, std::size_t run_index) {
+  ThreadPoolExecutor executor;
+  ExecuteOptions options;
+  options.jobs = 1;
+  options.keep_reports = false;
+  const std::size_t indices[1] = {run_index};
+  const auto results = executor.execute(plan, indices, options);
+  return serialize_run_record(plan.key(run_index), results.at(0));
+}
+
+// ---- Clean distributed execution -----------------------------------------
+
+TEST(Coordinator, MultiWorkerRunIsByteIdenticalToThreadPool) {
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  Coordinator::Options options;
+  options.lease_timeout_seconds = 30.0;
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ServeThread serve(coordinator);
+
+  // An asymmetric fleet: one two-session worker and one single-session
+  // worker, all stealing from the same queue.
+  WorkerOptions two_sessions;
+  two_sessions.sessions = 2;
+  WorkerOptions one_session;
+  one_session.sessions = 1;
+  WorkerReport report_a;
+  WorkerReport report_b;
+  std::thread worker_a([&] {
+    report_a = run_worker("127.0.0.1", coordinator.port(), two_sessions);
+  });
+  std::thread worker_b([&] {
+    report_b = run_worker("127.0.0.1", coordinator.port(), one_session);
+  });
+  worker_a.join();
+  worker_b.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(report_a.completed) << report_a.error;
+  EXPECT_TRUE(report_b.completed) << report_b.error;
+  EXPECT_EQ(report_a.runs_executed + report_b.runs_executed, 8u);
+  EXPECT_EQ(coordinator.executed(), 8u);
+  EXPECT_EQ(coordinator.cache_hits(), 0u);
+  EXPECT_EQ(coordinator.duplicates(), 0u);
+  EXPECT_EQ(coordinator.workers_seen(), 3u);  // three sessions connected
+
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].run_index, i);
+  }
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+TEST(Coordinator, Fig11ChurnSweepMatchesThePinnedGoldenHashes) {
+  // The strongest cross-check available: the distributed path must land on
+  // the *same* pinned golden constants as test_golden_outputs.cpp does for
+  // the single-process engine — one coordinator, two workers, churn-heavy
+  // open-market runs, and not a byte of drift end to end.
+  const ScenarioSpec* preset =
+      ScenarioRegistry::builtin().find("fig11_churn");
+  ASSERT_NE(preset, nullptr);
+  ScenarioSpec spec = *preset;
+  spec.set("horizon", 400.0);
+  spec.set("snapshot_interval", 100.0);
+  SweepSpec sweep;
+  sweep.axes.push_back(SweepAxis::parse("churn.arrival_rate=1,2"));
+  sweep.axes.push_back(SweepAxis::parse("churn.mean_lifespan=100,200"));
+  sweep.seeds = 2;
+
+  Coordinator coordinator(spec, sweep, Coordinator::Options{});
+  ServeThread serve(coordinator);
+  WorkerOptions worker_options;
+  worker_options.sessions = 1;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&] {
+      const auto report =
+          run_worker("127.0.0.1", coordinator.port(), worker_options);
+      EXPECT_TRUE(report.completed) << report.error;
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto results = serve.join();
+
+  ResultSink sink;
+  sink.add_all(results);
+  EXPECT_EQ(util::fnv1a64(sink.aggregate_csv()), 0xbd9622db89f1920bULL);
+  EXPECT_EQ(util::fnv1a64(sink.aggregate_json()), 0x1d7620dbf7cda782ULL);
+  EXPECT_EQ(util::fnv1a64(sink.runs_csv()), 0xc27d93ece3617262ULL);
+}
+
+// ---- Warm RunStore -------------------------------------------------------
+
+TEST(Coordinator, WarmRunStoreExecutesZeroRuns) {
+  const auto dir = scratch_dir("warm_store");
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  auto distributed_run = [&](std::size_t& executed, std::size_t& hits) {
+    Coordinator::Options options;
+    options.cache_dir = dir.string();
+    options.drain_seconds = 5.0;  // generous: the worker must reach DONE
+    Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+    ServeThread serve(coordinator);
+    WorkerReport report;
+    std::thread worker([&] {
+      report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+    });
+    worker.join();
+    const auto results = serve.join();
+    EXPECT_TRUE(report.completed) << report.error;
+    executed = coordinator.executed();
+    hits = coordinator.cache_hits();
+    return results;
+  };
+
+  std::size_t cold_executed = 0;
+  std::size_t cold_hits = 0;
+  const auto cold = distributed_run(cold_executed, cold_hits);
+  EXPECT_EQ(cold_executed, 8u);
+  EXPECT_EQ(cold_hits, 0u);
+
+  // Second sweep over the now-warm shared store: zero runs execute, every
+  // result is recalled, and the output bytes do not move.
+  std::size_t warm_executed = 0;
+  std::size_t warm_hits = 0;
+  const auto warm = distributed_run(warm_executed, warm_hits);
+  EXPECT_EQ(warm_executed, 0u);
+  EXPECT_EQ(warm_hits, 8u);
+  for (const auto& r : warm) {
+    EXPECT_TRUE(r.telemetry.from_cache) << r.run_index;
+  }
+
+  expect_identical(render(tiny_base(), tiny_sweep(), cold),
+                   render(tiny_base(), tiny_sweep(), reference));
+  expect_identical(render(tiny_base(), tiny_sweep(), warm),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+// ---- Fault injection -----------------------------------------------------
+
+TEST(CoordinatorFaults, AbruptWorkerDeathMidRunRequeuesItsLease) {
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  Coordinator::Options options;
+  options.lease_timeout_seconds = 60.0;  // death is detected, not timed out
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ServeThread serve(coordinator);
+
+  // The victim takes a lease and dies without a word — exactly what the
+  // coordinator sees when a worker process is SIGKILLed mid-run.
+  {
+    RawClient victim(coordinator.port());
+    (void)victim.handshake();
+    const std::size_t leased = victim.lease();
+    EXPECT_LT(leased, 8u);
+    victim.vanish();
+  }
+
+  // A healthy worker then completes the whole sweep, including the
+  // re-queued run.
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(report.runs_executed, 8u);
+  EXPECT_GE(coordinator.requeued(), 1u);
+  EXPECT_EQ(coordinator.executed(), 8u);
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+/// Executor decorator that stalls before computing — a worker too slow for
+/// its lease.
+class SlowExecutor final : public Executor {
+ public:
+  explicit SlowExecutor(double delay_seconds) : delay_(delay_seconds) {}
+
+  std::vector<RunResult> execute(const SweepPlan& plan,
+                                 std::span<const std::size_t> run_indices,
+                                 const ExecuteOptions& options) override {
+    std::this_thread::sleep_for(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::duration<double>(delay_)));
+    return inner_.execute(plan, run_indices, options);
+  }
+
+ private:
+  double delay_;
+  ThreadPoolExecutor inner_;
+};
+
+TEST(CoordinatorFaults, StalledHeartbeatLosesTheLeaseAndTheRunIsStolen) {
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  Coordinator::Options options;
+  options.lease_timeout_seconds = 0.3;
+  options.drain_seconds = 5.0;  // outlive the slow worker's late delivery
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ServeThread serve(coordinator);
+
+  // The laggard: heartbeats effectively disabled, every run stalled well
+  // past the lease timeout. Its leases expire mid-run; its deliveries
+  // arrive after the thief's and must be discarded as duplicates.
+  SlowExecutor slow(1.0);
+  WorkerOptions slow_options;
+  slow_options.sessions = 1;
+  slow_options.executor = &slow;
+  slow_options.heartbeat_seconds = 1000.0;
+  WorkerReport slow_report;
+  std::thread laggard([&] {
+    slow_report = run_worker("127.0.0.1", coordinator.port(), slow_options);
+  });
+
+  // Give the laggard time to take its first lease and stall, then unleash
+  // a healthy heartbeating worker that steals the expired lease.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  WorkerReport fast_report;
+  std::thread healthy([&] {
+    fast_report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+
+  laggard.join();
+  healthy.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(fast_report.completed) << fast_report.error;
+  EXPECT_GE(coordinator.requeued(), 1u);   // the stalled lease was revoked
+  EXPECT_GE(coordinator.duplicates(), 1u); // the late twin was discarded
+  EXPECT_EQ(coordinator.executed(), 8u);   // …and exactly 8 runs recorded
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+TEST(CoordinatorFaults, DuplicateDeliveryOfAStoredKeyIsDiscarded) {
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  Coordinator coordinator(tiny_base(), tiny_sweep(), Coordinator::Options{});
+  ServeThread serve(coordinator);
+
+  {
+    RawClient client(coordinator.port());
+    const SweepPlan plan = client.handshake();
+    const std::size_t leased = client.lease();
+    const std::string record = honest_record(plan, leased);
+    EXPECT_EQ(client.deliver(record), "OK");
+    // The same completion again — a worker double-reporting after a retry.
+    EXPECT_EQ(client.deliver(record), "DUP");
+    client.vanish();
+  }
+
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(coordinator.duplicates(), 1u);
+  EXPECT_EQ(coordinator.executed(), 8u);
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+TEST(CoordinatorFaults, MismatchedRunKeyIsRejectedNotRecorded) {
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  Coordinator coordinator(tiny_base(), tiny_sweep(), Coordinator::Options{});
+  ServeThread serve(coordinator);
+
+  {
+    RawClient saboteur(coordinator.port());
+    const SweepPlan plan = saboteur.handshake();
+    const std::size_t leased = saboteur.lease();
+    // A record whose key belongs to a *different* run index — what a
+    // worker on a mismatched plan (or binary) would deliver.
+    const std::size_t other = (leased + 1) % plan.size();
+    RunResult forged = plan.labelled_result(leased);
+    forged.metrics = {{"converged_gini", 0.0}};
+    const std::string bad_record =
+        serialize_run_record(plan.key(other), forged);
+    const std::string reply = saboteur.deliver(bad_record);
+    EXPECT_EQ(reply.rfind("ERR", 0), 0u) << reply;
+  }
+
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(report.runs_executed, 8u);  // the forgery contributed nothing
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+}  // namespace
+}  // namespace creditflow::scenario

@@ -140,6 +140,70 @@ TEST(OwnerIndexEquivalence, MatchesNaiveScanCheapestAsk) {
   expect_identical_markets(cfg, 60.0);
 }
 
+/// The hub-buyer regime the single-word fast path cannot cover: a dense
+/// overlay whose mean degree exceeds 64, so most buyers carry more than 64
+/// budgeted neighbors and the purchase phase takes the generic multi-word
+/// path. This is the pinned oracle for the planned two-word (≤128
+/// neighbor) specialization — it must land trace-for-trace against these
+/// markets.
+ProtocolConfig hub_config(std::uint64_t seed) {
+  auto cfg = base_config(seed);
+  // The bootstrap generator caps hub degrees near 4·sqrt(n)+8, so pushing
+  // the mean past 64 requires a swarm large enough for ~106-degree hubs.
+  cfg.initial_peers = 600;
+  cfg.max_peers = 640;
+  cfg.overlay_mean_degree = 80.0;
+  return cfg;
+}
+
+/// The structural premise of the hub tests: the overlay actually produced
+/// buyers with more than 64 neighbors (otherwise they would silently
+/// exercise only the single-word path and pin nothing).
+void expect_has_hub_buyers(const ProtocolConfig& cfg) {
+  sim::Simulator sim;
+  StreamingProtocol proto(cfg, sim);
+  proto.start();  // the bootstrap overlay is built at start()
+  std::size_t hubs = 0;
+  for (PeerId id = 0; id < cfg.initial_peers; ++id) {
+    if (proto.overlay().degree(id) > 64) ++hubs;
+  }
+  EXPECT_GT(hubs, cfg.initial_peers / 2)
+      << "overlay too sparse to exercise the multi-word purchase path";
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanAtHubDegrees) {
+  expect_has_hub_buyers(hub_config(1));
+  for (const std::uint64_t seed : {1ull, 29ull}) {
+    expect_identical_markets(hub_config(seed), 60.0);
+  }
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanAtHubDegreesSupplyLimited) {
+  // Hubs in the backlogged regime: long shopping lists and drained sellers
+  // force the deepest multi-word candidate-mask walks (window > 64 chunks
+  // AND > 64 neighbors — both dimensions past the single-word fast path).
+  auto cfg = hub_config(41);
+  cfg.stream_rate = 2.4;
+  cfg.upload_capacity = 2.0;
+  cfg.window_chunks = 96;
+  cfg.max_purchase_attempts = 96;
+  cfg.base_spend_rate = 7.2;
+  expect_has_hub_buyers(cfg);
+  expect_identical_markets(cfg, 80.0);
+}
+
+TEST(OwnerIndexEquivalence, MatchesNaiveScanAtHubDegreesUnderChurn) {
+  // Churn on a dense overlay: joins attach many links at once and
+  // departures strand index bits unless on_clear keeps the mirror exact —
+  // at hub degrees every such slip would surface as a trace divergence.
+  auto cfg = hub_config(53);
+  cfg.churn.enabled = true;
+  cfg.churn.arrival_rate = 1.0;
+  cfg.churn.mean_lifespan = 40.0;
+  cfg.churn.join_links = 70;  // arrivals become hubs immediately
+  expect_identical_markets(cfg, 100.0);
+}
+
 TEST(OwnerIndexEquivalence, MatchesNaiveScanSupplyLimited) {
   // The backlogged regime (capacity < stream rate): long shopping lists,
   // drained sellers, reserve-credit caps — the paths the fast path

@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
+#include <thread>
 
 #include "scenario/scenario.hpp"
 
@@ -292,6 +294,156 @@ TEST(RunStore, NeverStoresErroredRuns) {
   store.put(RunKey{1, 1}, failed);
   EXPECT_EQ(store.size(), 0u);
   EXPECT_EQ(store.find(RunKey{1, 1}), nullptr);
+}
+
+// ---- RunStore robustness -------------------------------------------------
+
+/// A minimal valid stored run for robustness tests.
+RunResult small_result(std::size_t run_index, double metric) {
+  RunResult r;
+  r.run_index = run_index;
+  r.seed = 1000 + run_index;
+  r.metrics = {{"m", metric}};
+  r.telemetry.rounds = 5;
+  return r;
+}
+
+TEST(RunStoreRobustness, TruncatedTrailingLineIsSkippedAndRepaired) {
+  const auto dir = scratch_dir("store_truncated");
+  std::string path;
+  {
+    RunStore store(dir.string());
+    store.put(RunKey{1, 1}, small_result(0, 0.5));
+    store.put(RunKey{2, 2}, small_result(1, 0.75));
+    path = store.path();
+  }
+
+  // Simulate a writer killed mid-append: chop the final record in half,
+  // leaving no trailing newline.
+  {
+    std::ifstream in(path);
+    std::string intact;
+    std::string doomed;
+    ASSERT_TRUE(std::getline(in, intact));
+    ASSERT_TRUE(std::getline(in, doomed));
+    std::ofstream out(path, std::ios::trunc);
+    out << intact << "\n" << doomed.substr(0, doomed.size() / 2);
+  }
+
+  // Loading must not crash and must not surface the torn record.
+  RunStore store(dir.string());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.find(RunKey{1, 1}), nullptr);
+  EXPECT_EQ(store.find(RunKey{2, 2}), nullptr);
+
+  // The next append must start on a fresh line — never fuse with the torn
+  // tail — so a reload sees both the survivor and the new record.
+  store.put(RunKey{3, 3}, small_result(2, 0.25));
+  RunStore reloaded(dir.string());
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_NE(reloaded.find(RunKey{1, 1}), nullptr);
+  const RunResult* fresh = reloaded.find(RunKey{3, 3});
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->metrics.at(0).second, 0.25);
+}
+
+TEST(RunStoreRobustness, CorruptedLinesNeverCrashOrDoubleCount) {
+  const auto dir = scratch_dir("store_corrupt");
+  std::string path;
+  {
+    RunStore store(dir.string());
+    store.put(RunKey{1, 1}, small_result(0, 0.5));
+    path = store.path();
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"zz\"}\n";             // malformed key
+    out << "complete garbage, not json\n";   // not a record at all
+    // The same valid record twice (a torn concurrent write): must load
+    // exactly once.
+    const std::string dup =
+        serialize_run_record(RunKey{4, 4}, small_result(3, 0.125));
+    out << dup << "\n" << dup << "\n";
+  }
+  RunStore store(dir.string());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.find(RunKey{1, 1}), nullptr);
+  EXPECT_NE(store.find(RunKey{4, 4}), nullptr);
+}
+
+TEST(RunStoreRobustness, ConcurrentAppendFromTwoExecutors) {
+  // Two executors sharing one store directory — each holds its own
+  // RunStore over the same runs.jsonl and appends concurrently. Every
+  // record must survive intact (single-write appends interleave at line
+  // boundaries), keys written by both sides must not double-count, and a
+  // fresh load must parse the whole file without a complaint.
+  const auto dir = scratch_dir("store_concurrent");
+  constexpr std::size_t kPerWriter = 200;
+  constexpr std::size_t kOverlap = 50;  // keys both writers race to claim
+
+  auto writer = [&](std::uint64_t salt, std::size_t first_key) {
+    RunStore store(dir.string());
+    for (std::size_t k = 0; k < kPerWriter; ++k) {
+      const std::uint64_t key_id = first_key + k;
+      store.put(RunKey{key_id, key_id},
+                small_result(key_id, static_cast<double>(key_id)));
+      (void)salt;
+    }
+  };
+  std::thread a(writer, 1, 0);
+  std::thread b(writer, 2, kPerWriter - kOverlap);
+  a.join();
+  b.join();
+
+  RunStore merged(dir.string());
+  const std::size_t distinct = 2 * kPerWriter - kOverlap;
+  EXPECT_EQ(merged.size(), distinct);
+  for (std::size_t key_id = 0; key_id < distinct; ++key_id) {
+    const RunResult* found = merged.find(RunKey{key_id, key_id});
+    ASSERT_NE(found, nullptr) << "key " << key_id;
+    EXPECT_EQ(found->metrics.at(0).second, static_cast<double>(key_id));
+  }
+}
+
+// ---- SweepSpec text round-trip -------------------------------------------
+
+TEST(SweepSpecSerialize, RoundTripsBitExactly) {
+  SweepSpec sweep;
+  sweep.axes.push_back(SweepAxis::parse("credits=20,40"));
+  sweep.axes.push_back(SweepAxis::parse("tax.rate=0.05:0.2:0.05"));
+  sweep.axes.push_back(SweepAxis::parse("spend_cv=0.30000000000000004"));
+  sweep.seeds = 7;
+
+  const SweepSpec back = SweepSpec::parse(sweep.serialize());
+  EXPECT_EQ(back.seeds, sweep.seeds);
+  ASSERT_EQ(back.axes.size(), sweep.axes.size());
+  for (std::size_t k = 0; k < sweep.axes.size(); ++k) {
+    EXPECT_EQ(back.axes[k].param, sweep.axes[k].param);
+    EXPECT_EQ(back.axes[k].values, sweep.axes[k].values);  // bit-exact
+  }
+  // And the canonical stability property the coordinator protocol rests
+  // on: serialize ∘ parse ∘ serialize is the identity on the text form.
+  EXPECT_EQ(SweepSpec::parse(sweep.serialize()).serialize(),
+            sweep.serialize());
+}
+
+TEST(SweepSpecSerialize, ParseRejectsGarbage) {
+  EXPECT_THROW((void)SweepSpec::parse("axis credits=1,2"),
+               util::PreconditionError);  // missing seeds
+  EXPECT_THROW((void)SweepSpec::parse("seeds 0"), util::PreconditionError);
+  EXPECT_THROW((void)SweepSpec::parse("seeds x"), util::PreconditionError);
+  // strtoull would silently wrap a negative to 2^64-1 and saturate an
+  // overflowing value there too; both must reject.
+  EXPECT_THROW((void)SweepSpec::parse("seeds -1"), util::PreconditionError);
+  EXPECT_THROW((void)SweepSpec::parse("seeds 20000000000000000000"),
+               util::PreconditionError);
+  EXPECT_THROW((void)SweepSpec::parse("seeds 2\naxis nope=1"),
+               util::PreconditionError);
+  EXPECT_THROW((void)SweepSpec::parse("seeds 2\nbogus line"),
+               util::PreconditionError);
+  const SweepSpec minimal = SweepSpec::parse("seeds 3\n");
+  EXPECT_EQ(minimal.seeds, 3u);
+  EXPECT_TRUE(minimal.axes.empty());
 }
 
 // ---- Cache behavior through SweepRunner ----------------------------------
