@@ -59,6 +59,7 @@
 #include "util/assert.hpp"
 #include "util/chart.hpp"
 #include "util/socket.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -108,7 +109,21 @@ namespace {
       << "  --inject INT AMT     mint AMT credits/peer every INT seconds\n"
       << "  --condensed          the Fig. 1 no-safeguards configuration\n"
       << "  --trace              enable trace + analyzer verdict\n"
-      << "  --chart              render the Gini(t) chart\n";
+      << "  --chart              render the Gini(t) chart\n"
+      << "observability (all modes unless noted):\n"
+      << "  --trace-out FILE     capture a Chrome trace-event JSON of\n"
+      << "                       protocol phases, event dispatch, and run\n"
+      << "                       lifecycles (load in Perfetto / about:tracing)\n"
+      << "  --series-out FILE    per-round time-series CSV (single run); in\n"
+      << "                       sweep mode a prefix: FILE.run<idx>.csv per\n"
+      << "                       executed run (cache hits don't simulate,\n"
+      << "                       so they emit none)\n"
+      << "  --series-every N     sample every N rounds (default 1)\n"
+      << "  --status-port P      with --serve/--coordinator: answer HTTP\n"
+      << "                       GET /status with live JSON progress on\n"
+      << "                       port P (0 picks a free one)\n"
+      << "stdout stays machine-clean: pass `-` to --out/--runs-out to pipe\n"
+      << "the payload; all progress chatter goes to stderr.\n";
   std::exit(64);
 }
 
@@ -148,6 +163,13 @@ creditflow::scenario::ScenarioSpec load_scenario(const std::string& name) {
 }
 
 bool write_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    // Machine-clean piping: every progress line in this binary goes to
+    // stderr, so "-" hands the payload to stdout uncorrupted.
+    std::cout << content;
+    std::cout.flush();
+    return static_cast<bool>(std::cout);
+  }
   std::ofstream out(path);
   out << content;
   if (!out) {
@@ -156,6 +178,23 @@ bool write_file(const std::string& path, const std::string& content) {
   }
   return true;
 }
+
+/// RAII trace capture: enabled at startup by --trace-out, written on every
+/// exit path that unwinds main.
+struct TraceDump {
+  std::string path;
+  ~TraceDump() {
+    if (path.empty()) return;
+    auto& tracer = creditflow::util::Tracer::instance();
+    const std::size_t events = tracer.snapshot().size();
+    tracer.write_json(path);
+    std::cerr << "[trace] " << path << " (" << events << " events";
+    if (tracer.dropped() > 0) {
+      std::cerr << ", " << tracer.dropped() << " overwritten by ring wrap";
+    }
+    std::cerr << ")\n";
+  }
+};
 
 /// Everything sweep mode and merge mode share downstream of execution.
 struct SweepOutputOptions {
@@ -197,7 +236,9 @@ int emit_sweep_outputs(creditflow::scenario::ResultSink& sink,
     const std::vector<std::string> metrics = {
         "converged_gini", "mean_buffer_fill", "exchange_efficiency",
         "mean_balance",   "bankrupt_fraction"};
-    sink.aggregate_table(title, metrics).print();
+    // The human-facing table is progress chatter like everything else
+    // here: stderr, so `--out -` leaves stdout machine-clean.
+    sink.aggregate_table(title, metrics).print(std::cerr);
   }
 
   if (!out.out_path.empty()) {
@@ -207,15 +248,15 @@ int emit_sweep_outputs(creditflow::scenario::ResultSink& sink,
             : (out.json ? sink.aggregate_json() : sink.aggregate_csv());
     if (!write_file(out.out_path, payload)) return 2;
     if (records != nullptr) {
-      std::cout << "[shard] " << out.out_path << " (" << sink.size()
+      std::cerr << "[shard] " << out.out_path << " (" << sink.size()
                 << " run records)\n";
     } else {
-      std::cout << "[out] " << out.out_path << "\n";
+      std::cerr << "[out] " << out.out_path << "\n";
     }
   }
   if (!out.runs_out_path.empty()) {
     if (!write_file(out.runs_out_path, sink.runs_csv())) return 2;
-    std::cout << "[runs] " << out.runs_out_path << "\n";
+    std::cerr << "[runs] " << out.runs_out_path << "\n";
   }
   const std::size_t failures = report_failures(sink);
   if (failures > 0) {
@@ -237,6 +278,9 @@ struct SweepCliOptions {
   std::string bind_host = "0.0.0.0";
   std::uint16_t bind_port = 0;
   double lease_timeout = 30.0;
+  int status_port = -1;  ///< --status-port (coordinator mode); -1 off
+  std::string series_out;
+  std::size_t series_every = 1;
   SweepOutputOptions out;
 };
 
@@ -261,6 +305,14 @@ int run_sweep(const creditflow::scenario::ScenarioSpec& spec,
   options.cache_dir = cli.cache_dir;
   options.shard_index = cli.shard_index;
   options.shard_count = cli.shard_count;
+  if (!cli.series_out.empty()) {
+    options.series_every = cli.series_every;
+    options.series_out_prefix = cli.series_out;
+    if (!cli.cache_dir.empty()) {
+      std::cerr << "[series] note: cache hits skip the simulation and "
+                   "write no series CSV\n";
+    }
+  }
   std::size_t done = 0;
   std::size_t executed = 0;
   double executed_wall = 0.0;
@@ -343,6 +395,16 @@ int run_coordinator_sweep(const creditflow::scenario::ScenarioSpec& spec,
   options.port = cli.bind_port;
   options.lease_timeout_seconds = cli.lease_timeout;
   options.cache_dir = cli.cache_dir;
+  options.status_port = cli.status_port;
+  if (cli.status_port >= 0) {
+    // Give scrapers a real window to observe the drained terminal state
+    // (completed == plan_runs) before the process exits.
+    options.drain_seconds = std::max(options.drain_seconds, 5.0);
+  }
+  if (!cli.series_out.empty()) {
+    std::cerr << "[series] note: runs execute on remote workers in "
+                 "coordinator mode; --series-out is ignored here\n";
+  }
   std::size_t done = 0;
   if (!cli.quiet) {
     options.on_result = [&](const scenario::RunResult& r) {
@@ -365,6 +427,10 @@ int run_coordinator_sweep(const creditflow::scenario::ScenarioSpec& spec,
   std::cerr << "[coordinator] listening on " << cli.bind_host << ":"
             << coordinator.port() << " (lease timeout " << cli.lease_timeout
             << "s)\n";
+  if (coordinator.status_port() != 0) {
+    std::cerr << "[status] GET http://" << cli.bind_host << ":"
+              << coordinator.status_port() << "/status\n";
+  }
 
   scenario::ResultSink sink;
   sink.set_expected_replications(seeds);
@@ -485,6 +551,7 @@ int main(int argc, char** argv) {
   scenario::SweepSpec sweep;
   SweepCliOptions cli;
   std::vector<std::string> merge_files;
+  std::string trace_out;
   bool worker_mode = false;
   std::string worker_host = "127.0.0.1";
   std::uint16_t worker_port = 0;
@@ -572,6 +639,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--eta") {
       cli.eta = true;
       cli.out.timing_columns = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--series-out") {
+      cli.series_out = next();
+    } else if (arg == "--series-every") {
+      cli.series_every =
+          static_cast<std::size_t>(parse_double(next(), argv[0]));
+      if (cli.series_every == 0) usage(argv[0]);
+    } else if (arg == "--status-port") {
+      const double p = parse_double(next(), argv[0]);
+      if (p < 0 || p > 65535) usage(argv[0]);
+      cli.status_port = static_cast<int>(p);
     } else if (arg == "--peers") {
       const double v = parse_double(next(), argv[0]);
       set_param("peers", v);
@@ -635,6 +714,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cli.status_port >= 0 && !cli.coordinate) {
+    std::cerr << "--status-port requires --serve/--coordinator\n";
+    return 64;
+  }
+
+  // Tracing switches on before any simulation and is dumped by the guard on
+  // every exit path below. It records wall-clock spans only — no RNG, no
+  // report bytes — so traced outputs stay byte-identical.
+  TraceDump trace_dump;
+  if (!trace_out.empty()) {
+    util::Tracer::instance().enable();
+    trace_dump.path = trace_out;
+  }
+
   if (worker_mode) {
     if (cli.coordinate || cli.sharded || !merge_files.empty()) {
       std::cerr << "--worker excludes --serve/--coordinator/--shard/"
@@ -646,7 +739,7 @@ int main(int argc, char** argv) {
     // files — reject loudly instead.
     if (!sweep.axes.empty() || sweep.seeds > 1 ||
         !cli.out.out_path.empty() || !cli.out.runs_out_path.empty() ||
-        !cli.cache_dir.empty() || cli.eta) {
+        !cli.cache_dir.empty() || cli.eta || !cli.series_out.empty()) {
       std::cerr << "--worker takes no sweep/output flags (the plan and the "
                    "outputs live on the coordinator)\n";
       return 64;
@@ -682,54 +775,68 @@ int main(int argc, char** argv) {
   }
 
   // ---- Single-run mode (the original market_cli behavior). --------------
-  core::CreditMarket market(spec.materialize());
+  core::MarketConfig run_cfg = spec.materialize();
+  if (!cli.series_out.empty()) {
+    run_cfg.series_every_rounds = cli.series_every;
+  }
+  core::CreditMarket market(std::move(run_cfg));
   const auto report = market.run();
   const auto& cfg = market.config();
 
-  std::cout << "== market report ==\n"
-            << report.summary() << "\n"
-            << "final wealth: mean=" << report.final_wealth.mean
-            << " median=" << report.final_wealth.median
-            << " gini=" << report.final_wealth.gini
-            << " top10=" << report.final_wealth.top10_share
-            << " bankrupt=" << report.final_wealth.bankrupt_fraction << "\n"
-            << "buffer fill: " << report.mean_buffer_fill.last_value()
-            << "  alive peers: " << report.alive_peers.last_value() << "\n";
+  if (market.series() != nullptr) {
+    if (!write_file(cli.series_out, market.series()->csv())) return 2;
+    std::cerr << "[series] " << cli.series_out << " ("
+              << market.series()->rows().size() << " rows)\n";
+  }
+
+  // When the series CSV streams to stdout, the human-readable report moves
+  // to stderr so the stream stays machine-clean.
+  std::ostream& human = cli.series_out == "-" ? std::cerr : std::cout;
+
+  human << "== market report ==\n"
+        << report.summary() << "\n"
+        << "final wealth: mean=" << report.final_wealth.mean
+        << " median=" << report.final_wealth.median
+        << " gini=" << report.final_wealth.gini
+        << " top10=" << report.final_wealth.top10_share
+        << " bankrupt=" << report.final_wealth.bankrupt_fraction << "\n"
+        << "buffer fill: " << report.mean_buffer_fill.last_value()
+        << "  alive peers: " << report.alive_peers.last_value() << "\n";
   if (cfg.protocol.tax.enabled) {
-    std::cout << "tax: collected=" << report.tax_collected
-              << " redistributed=" << report.tax_redistributed << "\n";
+    human << "tax: collected=" << report.tax_collected
+          << " redistributed=" << report.tax_redistributed << "\n";
   }
   if (cfg.protocol.churn.enabled) {
-    std::cout << "churn: arrivals=" << report.churn_arrivals
-              << " departures=" << report.churn_departures << "\n";
+    human << "churn: arrivals=" << report.churn_arrivals
+          << " departures=" << report.churn_departures << "\n";
   }
 
   if (want_chart && !report.gini_balances.empty()) {
     util::ChartOptions opts;
     opts.title = "Gini of balances over time";
-    std::cout << "\n"
-              << util::render_chart({{"gini", &report.gini_balances}}, opts);
+    human << "\n"
+          << util::render_chart({{"gini", &report.gini_balances}}, opts);
   }
 
   if (cfg.enable_trace) {
     const auto verdict = core::analyze_market(market.empirical_mapping());
-    std::cout << "\n== sustainability verdict ==\n"
-              << "equilibrium exists: "
-              << (verdict.equilibrium_exists ? "yes" : "no")
-              << " (residual " << verdict.equilibrium_residual << ")\n"
-              << "utilization symmetric: "
-              << (verdict.symmetric_utilization ? "yes" : "no") << "\n"
-              << "threshold T: "
-              << (verdict.condensation.threshold_finite
-                      ? std::to_string(verdict.condensation.threshold)
-                      : std::string("+inf"))
-              << "  c=" << verdict.condensation.average_wealth << "\n"
-              << "condensation predicted: "
-              << (verdict.condensation.condensation_predicted ? "YES" : "no")
-              << "\n"
-              << "model equilibrium gini: " << verdict.predicted_gini
-              << "  efficiency exact/eq9: " << verdict.efficiency_exact
-              << "/" << verdict.efficiency_eq9 << "\n";
+    human << "\n== sustainability verdict ==\n"
+          << "equilibrium exists: "
+          << (verdict.equilibrium_exists ? "yes" : "no")
+          << " (residual " << verdict.equilibrium_residual << ")\n"
+          << "utilization symmetric: "
+          << (verdict.symmetric_utilization ? "yes" : "no") << "\n"
+          << "threshold T: "
+          << (verdict.condensation.threshold_finite
+                  ? std::to_string(verdict.condensation.threshold)
+                  : std::string("+inf"))
+          << "  c=" << verdict.condensation.average_wealth << "\n"
+          << "condensation predicted: "
+          << (verdict.condensation.condensation_predicted ? "YES" : "no")
+          << "\n"
+          << "model equilibrium gini: " << verdict.predicted_gini
+          << "  efficiency exact/eq9: " << verdict.efficiency_exact
+          << "/" << verdict.efficiency_eq9 << "\n";
   }
   return report.ledger_conserved ? 0 : 2;
 }

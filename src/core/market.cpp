@@ -49,6 +49,15 @@ MarketReport CreditMarket::run() {
   ran_ = true;
 
   MarketReport report;
+  if (cfg_.series_every_rounds > 0) {
+    const auto expected_rounds = static_cast<std::uint64_t>(
+        cfg_.horizon / cfg_.protocol.round_seconds) + 1;
+    series_ = std::make_unique<RoundSeriesSampler>(
+        *protocol_, cfg_.series_every_rounds, expected_rounds);
+    protocol_->set_round_hook([this](std::uint64_t round, double t) {
+      series_->on_round(round, t);
+    });
+  }
   protocol_->start();
   sim_.schedule_periodic(
       sim_.now() + cfg_.snapshot_interval, cfg_.snapshot_interval,

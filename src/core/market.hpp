@@ -10,6 +10,7 @@
 
 #include "core/mapping.hpp"
 #include "core/report.hpp"
+#include "core/series.hpp"
 #include "p2p/protocol.hpp"
 #include "sim/simulator.hpp"
 
@@ -28,6 +29,13 @@ struct MarketConfig {
   /// measured over [rate_window_start, horizon] — the paper's "evolved for
   /// a long time" readout (Fig. 1). Negative disables.
   double rate_window_start = -1.0;
+
+  /// When > 0, collect a per-round time series (one RoundSample every N
+  /// rounds) readable via CreditMarket::series() after run(). Pure readout:
+  /// sampling consumes no RNG and changes no report bytes, so it is
+  /// deliberately NOT part of ScenarioSpec (run cache keys are unaffected).
+  /// 0 disables.
+  std::size_t series_every_rounds = 0;
 };
 
 /// One market = one simulator + one protocol instance + metrics collection.
@@ -47,6 +55,12 @@ class CreditMarket {
   [[nodiscard]] const MarketConfig& config() const { return cfg_; }
   [[nodiscard]] double now() const { return sim_.now(); }
 
+  /// The per-round time series collected during run(); nullptr unless
+  /// series_every_rounds > 0 (and empty until run() executes).
+  [[nodiscard]] const RoundSeriesSampler* series() const {
+    return series_.get();
+  }
+
   /// Empirical Table I mapping from the recorded trace (requires
   /// enable_trace and a completed run).
   [[nodiscard]] JacksonMapping empirical_mapping() const;
@@ -64,6 +78,7 @@ class CreditMarket {
   std::vector<double> snapshot_balances_;
   std::vector<double> snapshot_rates_;
   std::vector<double> gini_scratch_;
+  std::unique_ptr<RoundSeriesSampler> series_;
   bool ran_ = false;
 };
 

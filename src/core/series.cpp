@@ -1,0 +1,61 @@
+#include "core/series.hpp"
+
+#include <sstream>
+
+#include "econ/gini.hpp"
+#include "util/math.hpp"
+
+namespace creditflow::core {
+
+RoundSeriesSampler::RoundSeriesSampler(const p2p::StreamingProtocol& protocol,
+                                       std::size_t every_rounds,
+                                       std::uint64_t expected_rounds)
+    : protocol_(protocol),
+      every_rounds_(every_rounds == 0 ? 1 : every_rounds) {
+  // Reserve everything up front so on_round never allocates: one row per
+  // cadence hit plus slack, and snapshot scratch sized to the peer-slot
+  // capacity (alive count can never exceed it).
+  rows_.reserve(
+      static_cast<std::size_t>(expected_rounds / every_rounds_) + 2);
+  balances_.reserve(protocol_.config().max_peers);
+  gini_scratch_.reserve(protocol_.config().max_peers);
+}
+
+void RoundSeriesSampler::on_round(std::uint64_t round, double t) {
+  if (round % every_rounds_ != 0) return;
+
+  RoundSample row;
+  row.round = round;
+  row.t = t;
+  row.alive_peers = protocol_.num_alive();
+
+  protocol_.balance_snapshot(balances_);
+  double supply = 0.0;
+  for (const double b : balances_) supply += b;
+  row.credit_supply = supply;
+  row.mean_balance =
+      balances_.empty() ? 0.0 : supply / static_cast<double>(balances_.size());
+  // Same zero-supply convention as the snapshot path: a fully-bankrupt
+  // population reads as perfectly equal, not undefined.
+  row.gini_balances =
+      supply > 0.0 ? econ::gini(balances_, gini_scratch_) : 0.0;
+  row.mean_buffer_fill = protocol_.mean_buffer_fill();
+
+  rows_.push_back(row);
+}
+
+std::string RoundSeriesSampler::csv() const {
+  std::ostringstream out;
+  out << "round,t,alive_peers,gini_balances,credit_supply,mean_balance,"
+         "mean_buffer_fill\n";
+  for (const RoundSample& row : rows_) {
+    out << row.round << ',' << util::format_double(row.t) << ','
+        << row.alive_peers << ',' << util::format_double(row.gini_balances)
+        << ',' << util::format_double(row.credit_supply) << ','
+        << util::format_double(row.mean_balance) << ','
+        << util::format_double(row.mean_buffer_fill) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace creditflow::core

@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace creditflow::p2p {
 
@@ -30,6 +31,31 @@ std::size_t nth_set_bit(const std::uint64_t* words, std::size_t num_words,
   CF_ENSURES_MSG(false, "nth_set_bit: fewer set bits than requested");
   return 0;  // unreachable
 }
+
+/// Samples scope duration (µs) into a histogram, but only while the tracer
+/// is enabled: per-buyer clock reads are observability-run cost, never
+/// steady-state hot-path cost.
+class ScopedLatencySample {
+ public:
+  explicit ScopedLatencySample(util::Log2Histogram* hist)
+      : hist_(util::Tracer::enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatencySample() {
+    if (hist_ != nullptr) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      hist_->add(static_cast<std::uint64_t>(us));
+    }
+  }
+  ScopedLatencySample(const ScopedLatencySample&) = delete;
+  ScopedLatencySample& operator=(const ScopedLatencySample&) = delete;
+
+ private:
+  util::Log2Histogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 }  // namespace
 
@@ -79,6 +105,12 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   churn_arrivals_dropped_ = metrics_.counter_cell("churn.arrivals_dropped");
   churn_departures_ = metrics_.counter_cell("churn.departures");
   churn_credits_taken_ = metrics_.counter_cell("churn.credits_taken");
+  phase_one_word_ct_ = metrics_.counter_cell("purchase.phase_one_word");
+  phase_two_word_ct_ = metrics_.counter_cell("purchase.phase_two_word");
+  phase_generic_ct_ = metrics_.counter_cell("purchase.phase_generic");
+  candidates_hist_ = metrics_.histogram_cell("purchase.candidates");
+  queue_depth_hist_ = metrics_.histogram_cell("sim.queue_depth");
+  buyer_latency_hist_ = metrics_.histogram_cell("purchase.buyer_us");
   for (PeerId id = 0; id < cfg_.max_peers; ++id) {
     peers_[id].id = id;
     peers_[id].buffer = BufferMap(cfg_.window_chunks);
@@ -194,6 +226,7 @@ void StreamingProtocol::start() {
     periodic_handles_.push_back(sim_.schedule_periodic(
         sim_.now() + cfg_.injection.interval_seconds,
         cfg_.injection.interval_seconds, guard([this](double) {
+          const util::TraceSpan span("inject", "phase");
           for (PeerId id : overlay_.active_peers()) {
             ledger_.mint(id, cfg_.injection.credits_per_peer);
           }
@@ -213,6 +246,7 @@ void StreamingProtocol::schedule_next_arrival() {
 }
 
 void StreamingProtocol::handle_arrival(double now) {
+  const util::TraceSpan span("churn.arrival", "churn");
   // Alive peers and active overlay slots are the same set (join/leave and
   // activate/departure always move together), so the overlay's activity
   // bitmap answers "lowest free slot" in a word scan.
@@ -240,6 +274,7 @@ void StreamingProtocol::handle_arrival(double now) {
 }
 
 void StreamingProtocol::handle_departure(PeerId id, double now) {
+  const util::TraceSpan span("churn.departure", "churn", "peer", id);
   CF_EXPECTS(peers_[id].alive);
   (void)now;
   // The departing peer takes its credits out of the market.
@@ -289,7 +324,9 @@ void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
 }
 
 void StreamingProtocol::run_round(double now) {
+  const util::TraceSpan round_span("round", "phase", "round", rounds_ + 1);
   ++rounds_;
+  queue_depth_hist_->add(sim_.pending_events());
   const ChunkId head =
       static_cast<ChunkId>(now * cfg_.stream_rate) + cfg_.window_chunks;
   const ChunkId window_base = head - cfg_.window_chunks;
@@ -305,29 +342,47 @@ void StreamingProtocol::run_round(double now) {
   }
 
   // 2. Source emits and seeds fresh chunks.
-  seed_new_chunks(now, head);
+  {
+    const util::TraceSpan span("seed", "phase");
+    const auto seed_start = std::chrono::steady_clock::now();
+    seed_new_chunks(now, head);
+    seed_phase_seconds_ += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - seed_start)
+                               .count();
+  }
 
   // 3. Purchase phase in random peer order (fairness).
   rng_.shuffle(round_order_);
-  const auto phase_start = std::chrono::steady_clock::now();
-  for (PeerId id : round_order_) {
-    peer_purchase_phase(id, now);
+  {
+    const util::TraceSpan span("purchase", "phase");
+    const auto phase_start = std::chrono::steady_clock::now();
+    for (PeerId id : round_order_) {
+      peer_purchase_phase(id, now);
+    }
+    purchase_phase_seconds_ += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   phase_start)
+                                   .count();
   }
-  purchase_phase_seconds_ += std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() -
-                                 phase_start)
-                                 .count();
 
   // 4. Taxation redistribution when the treasury is full enough.
   if (cfg_.tax.enabled && overlay_.num_active() > 0) {
+    const util::TraceSpan span("tax", "phase");
+    const auto tax_start = std::chrono::steady_clock::now();
     while (tax_.try_redistribute(overlay_.num_active())) {
       ledger_.redistribute(overlay_.active_peers());
       ++*tax_redistributions_;
     }
+    tax_phase_seconds_ += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - tax_start)
+                              .count();
   }
+
+  if (round_hook_) round_hook_(rounds_, now);
 }
 
 void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
+  const ScopedLatencySample latency(buyer_latency_hist_);
   PeerState& buyer = peers_[buyer_id];
   if (!buyer.alive) return;  // departed mid-round
 
@@ -433,6 +488,68 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
           }
           seller_id =
               eligible_[static_cast<std::size_t>(std::countr_zero(m))];
+        }
+      }
+    } else if (cfg_.use_owner_index && phase_two_word_) {
+      // Two-word phase (hub buyers: 65..128 budgeted neighbors): the
+      // candidate mask is exactly two words, so count and pick run
+      // unrolled — no per-word loop, no nth_set_bit call. Candidate sets,
+      // RNG draws and picks are identical to the generic path below.
+      const std::uint64_t* mask = slot_masks_.data() + phase_slot(chunk) * 2;
+      const std::uint64_t m0 = mask[0];
+      const std::uint64_t m1 = mask[1];
+      const auto c0 = static_cast<std::size_t>(std::popcount(m0));
+      const std::size_t num_sellers =
+          c0 + static_cast<std::size_t>(std::popcount(m1));
+      if (num_sellers > 0) {
+        have_seller = true;
+        if (cfg_.seller_choice ==
+            ProtocolConfig::SellerChoice::kCheapestAsk) {
+          econ::Credits best = std::numeric_limits<econ::Credits>::max();
+          for (std::size_t w = 0; w < 2; ++w) {
+            std::uint64_t m = mask[w];
+            while (m != 0) {
+              const PeerId candidate = eligible_[
+                  w * 64 + static_cast<std::size_t>(std::countr_zero(m))];
+              m &= m - 1;
+              const econ::Credits ask = pricing_->price(candidate, chunk);
+              if (ask < best) {
+                best = ask;
+                seller_id = candidate;
+              }
+            }
+          }
+        } else if (fill_weighted) {
+          seller_ids_.clear();
+          seller_weights_.clear();
+          for (std::size_t w = 0; w < 2; ++w) {
+            std::uint64_t m = mask[w];
+            while (m != 0) {
+              const PeerId candidate = eligible_[
+                  w * 64 + static_cast<std::size_t>(std::countr_zero(m))];
+              m &= m - 1;
+              seller_ids_.push_back(candidate);
+              seller_weights_.push_back(
+                  static_cast<double>(peers_[candidate].buffer.count()) +
+                  1.0);
+            }
+          }
+          seller_id = seller_ids_[rng_.discrete(seller_weights_)];
+        } else {
+          // The nth set bit across (m0, m1), in ascending (neighbor-list)
+          // order — the same select nth_set_bit performs, without the
+          // word scan.
+          std::size_t n = uniform_pick(num_sellers);
+          std::uint64_t m = m0;
+          std::size_t word_base = 0;
+          if (n >= c0) {
+            n -= c0;
+            m = m1;
+            word_base = 64;
+          }
+          for (; n > 0; --n) m &= m - 1;
+          seller_id = eligible_[
+              word_base + static_cast<std::size_t>(std::countr_zero(m))];
         }
       }
     } else if (cfg_.use_owner_index) {
@@ -594,8 +711,17 @@ void StreamingProtocol::build_purchase_candidates(
   const std::size_t needed = cfg_.window_chunks * eligible_words_;
   if (slot_masks_.size() < needed) slot_masks_.resize(needed);
 
+  candidates_hist_->add(eligible_.size());
   phase_single_word_ =
       owner_index_.words_per_peer() == 1 && eligible_words_ == 1;
+  phase_two_word_ = !phase_single_word_ && eligible_words_ == 2;
+  if (phase_single_word_) {
+    ++*phase_one_word_ct_;
+  } else if (phase_two_word_) {
+    ++*phase_two_word_ct_;
+  } else {
+    ++*phase_generic_ct_;
+  }
   if (phase_single_word_) {
     // Dominant configuration (window ≤ 64 chunks, ≤ 64 budgeted
     // neighbors): every mask is one word, so the scatter loop runs without

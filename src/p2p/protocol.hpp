@@ -219,6 +219,23 @@ class StreamingProtocol {
   [[nodiscard]] double purchase_phase_seconds() const {
     return purchase_phase_seconds_;
   }
+  /// Cumulative wall-clock seconds spent seeding fresh chunks.
+  [[nodiscard]] double seed_phase_seconds() const {
+    return seed_phase_seconds_;
+  }
+  /// Cumulative wall-clock seconds spent in taxation redistribution.
+  [[nodiscard]] double tax_phase_seconds() const {
+    return tax_phase_seconds_;
+  }
+
+  /// Observer invoked at the end of every round — after that round's
+  /// purchases and taxation settled — with the 1-based round index and the
+  /// round's simulation time. Must be read-only: the hook sees the live
+  /// protocol and must not mutate it or consume RNG (the series sampler is
+  /// the intended client). One hook; setting replaces the previous one.
+  void set_round_hook(std::function<void(std::uint64_t, double)> hook) {
+    round_hook_ = std::move(hook);
+  }
 
  private:
   /// Wrap a callback so it no-ops once this protocol is destroyed. Every
@@ -296,6 +313,12 @@ class StreamingProtocol {
   /// chunks AND the buyer has 1..64 budgeted neighbors, so every candidate
   /// mask is exactly one word (set by build_purchase_candidates).
   bool phase_single_word_ = false;
+  /// Current phase fits the two-word fast path: 65..128 budgeted neighbors
+  /// (eligible_words_ == 2), the hub-buyer regime. Each slot's candidate
+  /// mask is exactly two words, so count/pick run unrolled instead of
+  /// through the generic per-word loops. Mutually exclusive with
+  /// phase_single_word_ (also set by build_purchase_candidates).
+  bool phase_two_word_ = false;
 
   // Hot-loop counter cells cached once (stable for the registry lifetime)
   // so per-event accounting skips the by-name map lookup — and the
@@ -312,6 +335,20 @@ class StreamingProtocol {
   std::uint64_t* churn_arrivals_dropped_ = nullptr;
   std::uint64_t* churn_departures_ = nullptr;
   std::uint64_t* churn_credits_taken_ = nullptr;
+  // Purchase-path dispatch counters: how many buyer phases resolved
+  // through each candidate-mask width (the fast-path hit/miss readout).
+  std::uint64_t* phase_one_word_ct_ = nullptr;
+  std::uint64_t* phase_two_word_ct_ = nullptr;
+  std::uint64_t* phase_generic_ct_ = nullptr;
+
+  // Histogram cells (stable for the registry lifetime, allocation-free
+  // add): budgeted-candidate-set sizes per buyer phase, event-queue depth
+  // sampled each round, and — only while the tracer is enabled, to keep
+  // the steady-state hot path free of per-buyer clock reads — per-buyer
+  // purchase-phase latency in microseconds.
+  util::Log2Histogram* candidates_hist_ = nullptr;
+  util::Log2Histogram* queue_depth_hist_ = nullptr;
+  util::Log2Histogram* buyer_latency_hist_ = nullptr;
 
   // Trailing spend-rate window (begin_rate_window / windowed_spend_rates).
   std::vector<std::uint64_t> spent_marker_;
@@ -325,6 +362,9 @@ class StreamingProtocol {
 
   std::uint64_t rounds_ = 0;
   double purchase_phase_seconds_ = 0.0;
+  double seed_phase_seconds_ = 0.0;
+  double tax_phase_seconds_ = 0.0;
+  std::function<void(std::uint64_t, double)> round_hook_;
   bool started_ = false;
 };
 

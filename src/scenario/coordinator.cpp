@@ -9,11 +9,14 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <sstream>
 
 #include "scenario/store.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
+#include "util/math.hpp"
 #include "util/socket.hpp"
+#include "util/stats.hpp"
 
 namespace creditflow::scenario {
 
@@ -44,12 +47,25 @@ struct Coordinator::Impl {
     bool hello = false;
     std::size_t payload_remaining = 0;  ///< >0 → mid-RESULT payload
     std::string payload;
+    // Status-endpoint bookkeeping (reported, never acted on).
+    std::size_t runs_completed = 0;
+    Clock::time_point connected_at;
+    Clock::time_point last_traffic;
   };
   std::map<int, Conn> conns;  ///< keyed by descriptor
+
+  /// One status-endpoint client mid-request (served and closed per query).
+  struct StatusConn {
+    util::Socket socket;
+    std::string inbuf;
+  };
+  std::map<int, StatusConn> status_conns;
+  util::Listener status_listener;  ///< invalid unless status_port >= 0
 
   struct Lease {
     int fd = -1;
     Clock::time_point deadline;
+    Clock::time_point granted;  ///< for the per-lease wall-time histogram
   };
   std::deque<std::size_t> pending;        ///< grantable run indices
   std::map<std::size_t, Lease> leases;    ///< outstanding grants
@@ -58,6 +74,8 @@ struct Coordinator::Impl {
   std::size_t completed = 0;
   bool done = false;
   Clock::time_point drain_deadline;
+  Clock::time_point started_at;           ///< run() entry, for elapsed/ETA
+  util::Log2Histogram lease_wall_ms;      ///< grant → first completion
   bool ran = false;
 
   Impl(ScenarioSpec base, SweepSpec sweep, Options opts)
@@ -78,6 +96,10 @@ struct Coordinator::Impl {
     have.assign(plan.size(), 0);
     if (!options.cache_dir.empty()) store.emplace(options.cache_dir);
     listener = util::Listener::bind(options.host, options.port);
+    if (options.status_port >= 0) {
+      status_listener = util::Listener::bind(
+          options.host, static_cast<std::uint16_t>(options.status_port));
+    }
   }
 };
 
@@ -89,10 +111,15 @@ Coordinator::~Coordinator() = default;
 
 std::uint16_t Coordinator::port() const { return impl_->listener.port(); }
 
+std::uint16_t Coordinator::status_port() const {
+  return impl_->status_listener.valid() ? impl_->status_listener.port() : 0;
+}
+
 std::vector<RunResult> Coordinator::run() {
   Impl& im = *impl_;
   CF_EXPECTS_MSG(!im.ran, "Coordinator::run may only be called once");
   im.ran = true;
+  im.started_at = Clock::now();
 
   // Resolve cache hits up front — exactly the SweepRunner recall path, so
   // warm-store output is byte-identical to the uncached sweep.
@@ -186,7 +213,17 @@ std::vector<RunResult> Coordinator::run() {
     merged.telemetry = record.result.telemetry;
     merged.error = std::move(record.result.error);
     if (im.store) im.store->put(im.keys[idx], merged);
-    im.leases.erase(idx);
+    const auto lease_it = im.leases.find(idx);
+    if (lease_it != im.leases.end()) {
+      const auto wall =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - lease_it->second.granted)
+              .count();
+      im.lease_wall_ms.add(
+          wall > 0 ? static_cast<std::uint64_t>(wall) : 0);
+      im.leases.erase(lease_it);
+    }
+    ++conn.runs_completed;
     if (im.options.on_result) im.options.on_result(merged);
     im.results[idx] = std::move(merged);
     im.have[idx] = 1;
@@ -225,8 +262,9 @@ std::vector<RunResult> Coordinator::run() {
       if (im.pending.empty()) return conn.socket.send_all("WAIT\n");
       const std::size_t idx = im.pending.front();
       im.pending.pop_front();
+      const Clock::time_point granted = Clock::now();
       im.leases[idx] =
-          Impl::Lease{conn.socket.fd(), Clock::now() + lease_duration};
+          Impl::Lease{conn.socket.fd(), granted + lease_duration, granted};
       return conn.socket.send_all("RUN " + std::to_string(idx) + "\n");
     }
     if (line.rfind("RESULT ", 0) == 0) {
@@ -266,11 +304,114 @@ std::vector<RunResult> Coordinator::run() {
     }
   };
 
+  /// The /status JSON snapshot, rendered from the serving loop's own state
+  /// — no locks, nothing the loop doesn't already know.
+  auto status_json = [&]() -> std::string {
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - im.started_at).count();
+    const std::size_t remaining = im.plan.size() - im.completed;
+    // ETA extrapolated from fresh completions only (cache hits resolve
+    // before serving starts); negative → unknown, rendered as null.
+    double eta = -1.0;
+    if (remaining == 0) {
+      eta = 0.0;
+    } else if (executed_ > 0 && elapsed > 0.0) {
+      eta = static_cast<double>(remaining) * elapsed /
+            static_cast<double>(executed_);
+    }
+    std::ostringstream out;
+    out << "{\"plan_runs\":" << im.plan.size()
+        << ",\"completed\":" << im.completed
+        << ",\"pending\":" << im.pending.size()
+        << ",\"leased\":" << im.leases.size()
+        << ",\"executed\":" << executed_
+        << ",\"cache_hits\":" << cache_hits_
+        << ",\"requeued\":" << requeued_
+        << ",\"duplicates\":" << duplicates_
+        << ",\"workers_seen\":" << workers_seen_
+        << ",\"done\":" << (im.done ? "true" : "false")
+        << ",\"elapsed_seconds\":" << util::format_double(elapsed)
+        << ",\"eta_seconds\":";
+    if (eta < 0.0) {
+      out << "null";
+    } else {
+      out << util::format_double(eta);
+    }
+    out << ",\"lease_wall_ms\":{\"count\":" << im.lease_wall_ms.count()
+        << ",\"mean\":" << util::format_double(im.lease_wall_ms.mean())
+        << ",\"p50\":"
+        << util::format_double(im.lease_wall_ms.approx_quantile(0.5))
+        << ",\"p90\":"
+        << util::format_double(im.lease_wall_ms.approx_quantile(0.9))
+        << ",\"max\":" << im.lease_wall_ms.max() << "},\"workers\":[";
+    bool first = true;
+    for (const auto& [fd, conn] : im.conns) {
+      if (!conn.hello) continue;
+      std::size_t active = 0;
+      for (const auto& [idx, lease] : im.leases) {
+        if (lease.fd == fd) ++active;
+      }
+      const double age =
+          std::chrono::duration<double>(now - conn.last_traffic).count();
+      const double connected =
+          std::chrono::duration<double>(now - conn.connected_at).count();
+      if (!first) out << ',';
+      first = false;
+      out << "{\"fd\":" << fd << ",\"completed\":" << conn.runs_completed
+          << ",\"active_leases\":" << active
+          << ",\"throughput_runs_per_s\":"
+          << util::format_double(
+                 connected > 0.0
+                     ? static_cast<double>(conn.runs_completed) / connected
+                     : 0.0)
+          << ",\"last_heartbeat_age_seconds\":" << util::format_double(age)
+          << '}';
+    }
+    out << "]}";
+    return out.str();
+  };
+
+  /// Answer one HTTP request on a status connection as soon as its request
+  /// line is complete (headers are ignored; one request per connection).
+  /// false → close the connection.
+  auto serve_status = [&](Impl::StatusConn& sc) {
+    const auto newline = sc.inbuf.find('\n');
+    if (newline == std::string::npos) {
+      return sc.inbuf.size() <= 4096;  // keep waiting, bound the buffer
+    }
+    std::string line = sc.inbuf.substr(0, newline);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream request(line);
+    std::string method;
+    std::string path;
+    request >> method >> path;
+    std::string status_line;
+    std::string body;
+    if (method == "GET" &&
+        (path == "/status" || path.rfind("/status?", 0) == 0)) {
+      status_line = "HTTP/1.0 200 OK";
+      body = status_json();
+    } else {
+      status_line = "HTTP/1.0 404 Not Found";
+      body = "{\"error\":\"unknown path; try GET /status\"}";
+    }
+    const std::string response =
+        status_line + "\r\nContent-Type: application/json\r\n" +
+        "Content-Length: " + std::to_string(body.size()) +
+        "\r\nConnection: close\r\n\r\n" + body;
+    (void)sc.socket.send_all(response);
+    return false;
+  };
+
   while (true) {
     const Clock::time_point now = Clock::now();
+    // With the status endpoint enabled the early exit is off: scrapers must
+    // be able to observe the drained terminal state for the full window.
     if (im.done &&
         (now >= im.drain_deadline ||
-         (im.conns.empty() && workers_seen_ > 0))) {
+         (!im.status_listener.valid() && im.conns.empty() &&
+          workers_seen_ > 0))) {
       break;
     }
 
@@ -306,9 +447,20 @@ std::vector<RunResult> Coordinator::run() {
     }
 
     std::vector<pollfd> fds;
-    fds.reserve(im.conns.size() + 1);
+    fds.reserve(im.conns.size() + im.status_conns.size() + 2);
     fds.push_back(pollfd{im.listener.fd(), POLLIN, 0});
+    const std::size_t status_listener_slot =
+        im.status_listener.valid() ? fds.size()
+                                   : static_cast<std::size_t>(-1);
+    if (im.status_listener.valid()) {
+      fds.push_back(pollfd{im.status_listener.fd(), POLLIN, 0});
+    }
+    const std::size_t worker_base = fds.size();
     for (const auto& [fd, conn] : im.conns) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    const std::size_t status_base = fds.size();
+    for (const auto& [fd, sc] : im.status_conns) {
       fds.push_back(pollfd{fd, POLLIN, 0});
     }
     const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
@@ -322,12 +474,23 @@ std::vector<RunResult> Coordinator::run() {
       util::Socket accepted = im.listener.accept();
       if (accepted.valid()) {
         const int fd = accepted.fd();
-        im.conns.emplace(fd, Impl::Conn{std::move(accepted), {}, false, 0,
-                                        {}});
+        Impl::Conn conn;
+        conn.socket = std::move(accepted);
+        conn.connected_at = conn.last_traffic = Clock::now();
+        im.conns.emplace(fd, std::move(conn));
+      }
+    }
+    if (status_listener_slot != static_cast<std::size_t>(-1) &&
+        (fds[status_listener_slot].revents & POLLIN) != 0) {
+      util::Socket accepted = im.status_listener.accept();
+      if (accepted.valid()) {
+        const int fd = accepted.fd();
+        im.status_conns.emplace(fd,
+                                Impl::StatusConn{std::move(accepted), {}});
       }
     }
 
-    for (std::size_t k = 1; k < fds.size(); ++k) {
+    for (std::size_t k = worker_base; k < status_base; ++k) {
       if (fds[k].revents == 0) continue;
       const int fd = fds[k].fd;
       const auto it = im.conns.find(fd);
@@ -344,12 +507,28 @@ std::vector<RunResult> Coordinator::run() {
       for (auto& [idx, lease] : im.leases) {
         if (lease.fd == fd) lease.deadline = fresh;
       }
+      conn.last_traffic = Clock::now();
       if (!process_buffer(conn)) close_conn(fd);
+    }
+
+    for (std::size_t k = status_base; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const int fd = fds[k].fd;
+      const auto it = im.status_conns.find(fd);
+      if (it == im.status_conns.end()) continue;
+      Impl::StatusConn& sc = it->second;
+      const util::IoStatus status = sc.socket.recv_some(sc.inbuf, 0.0);
+      if (status == util::IoStatus::kTimeout) continue;
+      if (status != util::IoStatus::kOk || !serve_status(sc)) {
+        im.status_conns.erase(fd);
+      }
     }
   }
 
   im.listener.close();
   im.conns.clear();
+  im.status_listener.close();
+  im.status_conns.clear();
 
   CF_ENSURES_MSG(im.completed == im.plan.size(),
                  "coordinator exited with incomplete results");

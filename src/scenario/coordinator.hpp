@@ -94,6 +94,15 @@ class Coordinator {
     /// .from_cache set), then fresh completions in arrival order. Runs on
     /// the coordinator's serving thread; progress reporting only.
     std::function<void(const RunResult&)> on_result;
+
+    /// Live status endpoint: when >= 0, bind a second listener on the same
+    /// host (0 picks a free port — read it back via status_port()) that
+    /// answers `GET /status` with a JSON progress snapshot from the serving
+    /// loop itself — no extra thread, no locks. -1 disables. With the
+    /// endpoint enabled the coordinator always drains the full
+    /// drain_seconds window (no early exit when the last worker leaves), so
+    /// a final scrape can still observe completed == plan_runs.
+    int status_port = -1;
   };
 
   /// Binds and listens immediately (so workers can connect before run()),
@@ -107,6 +116,8 @@ class Coordinator {
 
   /// The bound port.
   [[nodiscard]] std::uint16_t port() const;
+  /// The bound status-endpoint port; 0 when the endpoint is disabled.
+  [[nodiscard]] std::uint16_t status_port() const;
 
   /// Serve until every run of the plan has exactly one result, then drain
   /// and return the results ordered by run_index — the same vector a

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <limits>
 #include <mutex>
 #include <numeric>
@@ -16,6 +17,8 @@
 #include "core/market.hpp"
 #include "econ/gini.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace creditflow::scenario {
 
@@ -107,16 +110,28 @@ std::vector<std::pair<std::string, double>> standard_metrics(
 }
 
 void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
-                       bool keep_report) {
+                       bool keep_report, std::size_t series_every,
+                       std::string* series_csv) {
+  const util::TraceSpan span("run", "executor", "run_index",
+                             result.run_index);
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t rss_before = peak_rss_now();
   try {
     result.seed = spec.config.protocol.seed;
-    core::CreditMarket market(spec.materialize());
+    core::MarketConfig market_cfg = spec.materialize();
+    if (series_every > 0) market_cfg.series_every_rounds = series_every;
+    core::CreditMarket market(std::move(market_cfg));
     result.report = market.run();
+    if (series_csv != nullptr && market.series() != nullptr) {
+      *series_csv = market.series()->csv();
+    }
     result.metrics = standard_metrics(spec.config, result.report);
     result.telemetry.purchase_phase_seconds =
         market.protocol().purchase_phase_seconds();
+    result.telemetry.seed_phase_seconds =
+        market.protocol().seed_phase_seconds();
+    result.telemetry.tax_phase_seconds =
+        market.protocol().tax_phase_seconds();
     result.telemetry.rounds = result.report.rounds;
     if (!keep_report) result.report = core::MarketReport{};
   } catch (const std::exception& e) {
@@ -151,11 +166,24 @@ std::vector<RunResult> ThreadPoolExecutor::execute(
       const std::size_t run_index = run_indices[slot];
       RunResult& result = results[slot];
       result = plan.labelled_result(run_index);
+      const bool want_series =
+          options.series_every > 0 && !options.series_out_prefix.empty();
+      std::string series_csv;
       try {
-        execute_spec_into(plan.spec(run_index), result,
-                          options.keep_reports);
+        execute_spec_into(plan.spec(run_index), result, options.keep_reports,
+                          want_series ? options.series_every : 0,
+                          want_series ? &series_csv : nullptr);
       } catch (const std::exception& e) {
         result.error = e.what();  // instantiate() itself rejected the point
+      }
+      if (want_series && !series_csv.empty()) {
+        const std::string path = options.series_out_prefix + ".run" +
+                                 std::to_string(run_index) + ".csv";
+        std::ofstream out(path);
+        out << series_csv;
+        if (!out.good()) {
+          CF_LOG_WARN("failed writing series CSV " << path);
+        }
       }
       if (options.on_result) {
         const std::lock_guard<std::mutex> lock(progress_mutex);

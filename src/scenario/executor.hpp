@@ -28,6 +28,11 @@ namespace creditflow::scenario {
 struct RunTelemetry {
   double wall_seconds = 0.0;            ///< end-to-end run wall time
   double purchase_phase_seconds = 0.0;  ///< protocol hot-path share of it
+  /// Remaining per-phase breakdown of the round loop: chunk seeding and
+  /// taxation redistribution. Absent from records written before the
+  /// breakdown existed; such runs read back as 0.
+  double seed_phase_seconds = 0.0;
+  double tax_phase_seconds = 0.0;
   std::uint64_t rounds = 0;             ///< protocol rounds simulated
   /// Growth of the process peak-RSS high-water mark across this run
   /// (getrusage delta, bytes). 0 when the run fit entirely in memory the
@@ -82,6 +87,15 @@ struct ExecuteOptions {
   /// Called after each run completes (from worker threads, serialized —
   /// safe to print from). Progress reporting only; results are final.
   std::function<void(const RunResult&)> on_result;
+
+  /// Per-round time-series collection (observability — deliberately off
+  /// the RunKey, so it never invalidates caches). When series_every > 0
+  /// and series_out_prefix is non-empty, every freshly-executed run
+  /// samples its market every N rounds and the executor writes one CSV
+  /// per run to "<series_out_prefix>.run<run_index>.csv". Cache hits
+  /// produce no series — they never simulate.
+  std::size_t series_every = 0;
+  std::string series_out_prefix;
 };
 
 /// Computes plan entries. Implementations must be safe to reuse across
@@ -111,8 +125,11 @@ class ThreadPoolExecutor final : public Executor {
 
 /// Execute one fully-instantiated spec into a pre-labelled result slot,
 /// capturing errors and telemetry. The shared primitive under every
-/// executor and run_scenario().
+/// executor and run_scenario(). When series_every > 0 and series_csv is
+/// non-null, the run also collects a per-round time series and stores its
+/// CSV rendering into *series_csv (untouched when the run throws).
 void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
-                       bool keep_report);
+                       bool keep_report, std::size_t series_every = 0,
+                       std::string* series_csv = nullptr);
 
 }  // namespace creditflow::scenario

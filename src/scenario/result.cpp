@@ -286,7 +286,8 @@ std::string ResultSink::runs_csv() const {
     }
     out << ",error,rounds";
     if (timing_columns_) {
-      out << ",wall_seconds,purchase_phase_seconds,peak_rss_bytes";
+      out << ",wall_seconds,purchase_phase_seconds,seed_phase_seconds"
+             ",tax_phase_seconds,peak_rss_bytes";
     }
   }
   out << '\n';
@@ -309,6 +310,8 @@ std::string ResultSink::runs_csv() const {
     if (timing_columns_) {
       out << ',' << format_double(run.telemetry.wall_seconds) << ','
           << format_double(run.telemetry.purchase_phase_seconds) << ','
+          << format_double(run.telemetry.seed_phase_seconds) << ','
+          << format_double(run.telemetry.tax_phase_seconds) << ','
           << run.telemetry.peak_rss_bytes;
     }
     out << '\n';

@@ -78,6 +78,8 @@ std::vector<RunResult> SweepRunner::run() {
   exec_options.jobs = options_.jobs;
   exec_options.keep_reports = options_.keep_reports;
   exec_options.on_result = options_.on_result;
+  exec_options.series_every = options_.series_every;
+  exec_options.series_out_prefix = options_.series_out_prefix;
 
   ThreadPoolExecutor default_executor;
   Executor& executor =

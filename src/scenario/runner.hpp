@@ -58,6 +58,13 @@ class SweepRunner {
     /// Executor override (not owned; must outlive the runner). nullptr →
     /// the built-in in-process ThreadPoolExecutor.
     Executor* executor = nullptr;
+
+    /// Per-round time-series collection, forwarded to ExecuteOptions: each
+    /// freshly-executed run writes "<series_out_prefix>.run<idx>.csv" when
+    /// both are set. Off the RunKey — cache hits skip the simulation and
+    /// therefore produce no series.
+    std::size_t series_every = 0;
+    std::string series_out_prefix;
   };
 
   SweepRunner(ScenarioSpec base, SweepSpec sweep);

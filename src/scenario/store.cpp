@@ -174,6 +174,10 @@ std::string serialize_run_record(const RunKey& key, const RunResult& r) {
       << util::format_double(r.telemetry.wall_seconds)
       << ",\"purchase_phase_seconds\":"
       << util::format_double(r.telemetry.purchase_phase_seconds)
+      << ",\"seed_phase_seconds\":"
+      << util::format_double(r.telemetry.seed_phase_seconds)
+      << ",\"tax_phase_seconds\":"
+      << util::format_double(r.telemetry.tax_phase_seconds)
       << ",\"rounds\":" << r.telemetry.rounds
       << ",\"peak_rss_bytes\":" << r.telemetry.peak_rss_bytes
       << "},\"error\":\"" << json_escape(r.error) << "\"}";
@@ -218,6 +222,12 @@ RunRecord parse_run_record(const std::string& line) {
           record.result.telemetry.wall_seconds = p.parse_number();
         } else if (t_field == "purchase_phase_seconds") {
           record.result.telemetry.purchase_phase_seconds = p.parse_number();
+        } else if (t_field == "seed_phase_seconds") {
+          // The per-phase breakdown fields are absent from records written
+          // before it existed; such runs read back with the zero default.
+          record.result.telemetry.seed_phase_seconds = p.parse_number();
+        } else if (t_field == "tax_phase_seconds") {
+          record.result.telemetry.tax_phase_seconds = p.parse_number();
         } else if (t_field == "rounds") {
           record.result.telemetry.rounds = p.parse_u64();
         } else if (t_field == "peak_rss_bytes") {

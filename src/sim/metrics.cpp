@@ -26,6 +26,28 @@ double MetricsRegistry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+double* MetricsRegistry::gauge_cell(const std::string& name) {
+  return &gauges_[name];
+}
+
+util::Log2Histogram* MetricsRegistry::histogram_cell(
+    const std::string& name) {
+  return &histograms_[name];
+}
+
+const util::Log2Histogram* MetricsRegistry::histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, _] : histograms_) names.push_back(name);
+  return names;
+}
+
 void MetricsRegistry::record(const std::string& series, double t,
                              double value) {
   auto it = series_.find(series);
@@ -53,10 +75,12 @@ std::vector<std::string> MetricsRegistry::series_names() const {
 }
 
 void MetricsRegistry::clear() {
-  // Counter nodes are kept (values zeroed) so cached counter_cell pointers
-  // survive a clear; see counter_cell's lifetime contract.
+  // Counter/gauge/histogram nodes are kept (values zeroed in place) so
+  // cached cell pointers survive a clear; see counter_cell's lifetime
+  // contract.
   for (auto& [name, value] : counters_) value = 0;
-  gauges_.clear();
+  for (auto& [name, value] : gauges_) value = 0.0;
+  for (auto& [name, hist] : histograms_) hist.reset();
   series_.clear();
 }
 

@@ -32,20 +32,36 @@ class MetricsRegistry {
 
   void set_gauge(const std::string& gauge, double value);
   [[nodiscard]] double gauge(const std::string& name) const;
+  /// Stable pointer to a gauge's cell (created zeroed on first use), under
+  /// the same lifetime contract as counter_cell: nodes never move and
+  /// clear() zeroes in place, so hot-loop writers cache the pointer once.
+  [[nodiscard]] double* gauge_cell(const std::string& name);
+
+  /// Stable pointer to a log2-bucket histogram cell (created empty on
+  /// first use). Same lifetime contract as counter_cell: the node never
+  /// moves and clear() resets it in place, so cached cells never dangle —
+  /// and Log2Histogram::add allocates nothing, keeping histogram updates
+  /// legal on the allocation-free round path.
+  [[nodiscard]] util::Log2Histogram* histogram_cell(const std::string& name);
+  /// Read-only lookup; nullptr when the histogram was never created.
+  [[nodiscard]] const util::Log2Histogram* histogram(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
 
   void record(const std::string& series, double t, double value);
   [[nodiscard]] const util::TimeSeries& series(const std::string& name) const;
   [[nodiscard]] bool has_series(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> series_names() const;
 
-  /// Reset everything: counters are zeroed *in place* (their cells — and
-  /// any cached counter_cell pointers — stay valid), gauges and series are
-  /// removed.
+  /// Reset everything: counters, gauges and histograms are zeroed *in
+  /// place* (their cells — and any cached cell pointers — stay valid),
+  /// series are removed.
   void clear();
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, util::Log2Histogram> histograms_;
   std::map<std::string, util::TimeSeries> series_;
 };
 

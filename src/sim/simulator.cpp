@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace creditflow::sim {
 
@@ -62,7 +63,10 @@ std::uint64_t Simulator::run_until(double horizon) {
     auto fired = queue_.pop();
     CF_ENSURES_MSG(fired.time >= now_, "event time regressed");
     now_ = fired.time;
-    fired.callback(fired.time);
+    {
+      const util::TraceSpan span("dispatch", "sim");
+      fired.callback(fired.time);
+    }
     ++executed;
   }
   now_ = horizon;
@@ -73,7 +77,10 @@ bool Simulator::step(double horizon) {
   if (queue_.empty() || queue_.next_time() > horizon) return false;
   auto fired = queue_.pop();
   now_ = fired.time;
-  fired.callback(fired.time);
+  {
+    const util::TraceSpan span("dispatch", "sim");
+    fired.callback(fired.time);
+  }
   return true;
 }
 

@@ -189,6 +189,60 @@ double TimeSeries::tail_mean(double fraction) const {
   return n == 0 ? v_.back() : sum / static_cast<double>(n);
 }
 
+void Log2Histogram::reset() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t bucket) {
+  CF_EXPECTS(bucket < kBuckets);
+  return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_hi(std::size_t bucket) {
+  CF_EXPECTS(bucket < kBuckets);
+  if (bucket == 0) return 1;
+  if (bucket == kBuckets - 1) return ~std::uint64_t{0};
+  return std::uint64_t{1} << bucket;
+}
+
+double Log2Histogram::approx_quantile(double q) const {
+  CF_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t next = seen + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double within =
+          counts_[b] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(counts_[b]);
+      const double est = lo + within * (hi - lo);
+      return std::clamp(est, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
 double TimeSeries::tail_oscillation(double fraction) const {
   CF_EXPECTS(fraction > 0.0 && fraction <= 1.0);
   CF_EXPECTS(!empty());

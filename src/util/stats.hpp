@@ -2,7 +2,10 @@
 // simulator's metrics layer and the benchmark harnesses.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,6 +91,61 @@ class Histogram {
   double hi_;
   std::vector<double> counts_;
   double total_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram of non-negative integer samples
+/// (latencies in µs/ns, candidate-set sizes, queue depths). Bucket 0 holds
+/// zeros; bucket b ≥ 1 holds [2^(b-1), 2^b). Fixed inline storage, so
+/// add() is allocation-free and a registry can hand out stable cells; the
+/// trade-off is ~2× worst-case relative error on quantile readouts, which
+/// is the right deal for order-of-magnitude observability.
+class Log2Histogram {
+ public:
+  /// Bucket 0 plus one bucket per magnitude of a 64-bit sample.
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t x) {
+    ++counts_[bucket_of(x)];
+    ++count_;
+    sum_ += x;
+    if (count_ == 1 || x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  void reset();
+  /// Accumulate another histogram (bucket-wise; min/max/sum merge exactly).
+  void merge(const Log2Histogram& other);
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t x) {
+    return x == 0 ? 0 : static_cast<std::size_t>(std::bit_width(x));
+  }
+  /// Inclusive lower edge of a bucket.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t bucket);
+  /// Exclusive upper edge (saturates at UINT64_MAX for the top bucket).
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t bucket);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
+    return counts_[bucket];
+  }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+
+  /// Approximate quantile (q in [0,1]): linear interpolation within the
+  /// bucket where the cumulative count crosses q·count, clamped to the
+  /// observed [min, max]. 0 on an empty histogram.
+  [[nodiscard]] double approx_quantile(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 /// A (time, value) series with basic reductions; the metrics recorder and the

@@ -1,0 +1,155 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace creditflow::util {
+
+namespace {
+
+/// Per-thread cache of the registered ring, tagged with the tracer
+/// generation it belongs to; enable()/clear() bump the generation so a
+/// stale pointer (into a destroyed ring) is never dereferenced.
+struct LocalRingCache {
+  void* ring = nullptr;
+  std::uint64_t generation = 0;
+};
+thread_local LocalRingCache t_ring_cache;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Tracer::enable(std::size_t events_per_thread) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+  capacity_ = std::max<std::size_t>(events_per_thread, 16);
+  epoch_ = std::chrono::steady_clock::now();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (t_ring_cache.ring != nullptr && t_ring_cache.generation == gen) {
+    return *static_cast<Ring*>(t_ring_cache.ring);
+  }
+  // First record() on this thread since enable(): register a ring. This is
+  // the only allocating step of the recording path — one-time warm-up.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rings_.push_back(std::make_unique<Ring>());
+  Ring& ring = *rings_.back();
+  ring.events.reserve(capacity_);
+  ring.tid = static_cast<std::uint32_t>(rings_.size());
+  t_ring_cache.ring = &ring;
+  t_ring_cache.generation = gen;
+  return ring;
+}
+
+void Tracer::record(const char* name, const char* cat, std::int64_t ts_us,
+                    std::int64_t dur_us, const char* arg_name,
+                    std::uint64_t arg) {
+  if (!enabled()) return;
+  Ring& ring = local_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = ring.tid;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  if (ring.events.size() < ring.events.capacity()) {
+    ring.events.push_back(ev);  // within reserve: no allocation
+  } else {
+    ring.events[ring.next] = ev;  // full: overwrite the oldest
+    ring.next = ring.next + 1 == ring.events.size() ? 0 : ring.next + 1;
+  }
+  ++ring.recorded;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& ring : rings_) total += ring->events.size();
+    all.reserve(total);
+    for (const auto& ring : rings_) {
+      all.insert(all.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+std::string Tracer::json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << ev.name << "\",\"cat\":\"" << ev.cat
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+        << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us;
+    if (ev.arg_name != nullptr) {
+      out << ",\"args\":{\"" << ev.arg_name << "\":" << ev.arg << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  out << json();
+  if (!out) {
+    CF_LOG_ERROR("tracer: failed to write " << path);
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    dropped += ring->recorded - ring->events.size();
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace creditflow::util

@@ -1,0 +1,152 @@
+// CreditFlow: lightweight span tracer emitting Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// Design constraints, in priority order:
+//
+//  1. Disabled cost is one relaxed atomic load and a predictable branch.
+//     The simulation's golden-output and zero-allocation guarantees must
+//     hold with the tracer compiled in, so recording never consumes RNG
+//     and the disabled path touches nothing else.
+//  2. Enabled recording is allocation-free at steady state: each thread
+//     writes into a pre-reserved ring buffer registered on first use;
+//     once the ring is full, new events overwrite the oldest (the tail of
+//     a long run is usually what a trace is opened for anyway, and
+//     dropped() reports how much history was lost).
+//  3. Event names are static strings (string literals); the tracer stores
+//     the pointers verbatim. Dynamic names would force per-event copies
+//     and allocations, which constraint 2 forbids.
+//
+// Usage:
+//
+//   util::Tracer::instance().enable();
+//   { util::TraceSpan span("purchase", "phase"); ...work... }
+//   util::Tracer::instance().write_json("run.trace.json");
+//
+// The JSON is the Chrome trace-event "complete event" (ph:"X") format:
+// one object per span with microsecond timestamps relative to enable().
+// Snapshots are safe to take while other threads record (each ring cell
+// is written by exactly one thread; a torn read can at worst misreport a
+// span that was in flight), but the intended pattern is to write the file
+// after the traced work has quiesced.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace creditflow::util {
+
+/// One recorded span (Chrome "complete event"). POD so ring writes are
+/// plain stores.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string
+  const char* cat = nullptr;   ///< static string
+  std::int64_t ts_us = 0;      ///< start, µs since enable()
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;      ///< registration-order thread number
+  const char* arg_name = nullptr;  ///< static string; nullptr → no arg
+  std::uint64_t arg = 0;
+};
+
+/// Process-wide trace collector. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Start (or restart) collection. Allocates nothing per event afterward:
+  /// each recording thread's ring is reserved to `events_per_thread` on
+  /// that thread's first record(). Re-enabling clears prior events.
+  void enable(std::size_t events_per_thread = kDefaultCapacity);
+  /// Stop collection; recorded events stay readable until the next
+  /// enable() or clear().
+  void disable();
+  /// The no-op branch. Relaxed: a span that straddles an enable/disable
+  /// edge may be dropped, never torn (TraceSpan re-checks nothing — it
+  /// captures the decision at construction).
+  [[nodiscard]] static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Record one complete span. No-op when disabled. `name`, `cat` and
+  /// `arg_name` must be static strings.
+  void record(const char* name, const char* cat, std::int64_t ts_us,
+              std::int64_t dur_us, const char* arg_name = nullptr,
+              std::uint64_t arg = 0);
+
+  /// Microseconds since enable(); only meaningful while enabled.
+  [[nodiscard]] std::int64_t now_us() const;
+
+  /// All recorded events, sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Chrome trace-event JSON ({"traceEvents":[...]}).
+  [[nodiscard]] std::string json() const;
+  /// Write json() to `path`; false (with a log line) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Events lost to ring wrap-around since enable().
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Drop all recorded events and unregister the rings.
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+ private:
+  Tracer() = default;
+
+  struct Ring {
+    std::vector<TraceEvent> events;  ///< reserved once; ring once full
+    std::size_t next = 0;            ///< overwrite cursor when full
+    std::uint64_t recorded = 0;      ///< lifetime count (for dropped())
+    std::uint32_t tid = 0;
+  };
+
+  static std::atomic<bool>& enabled_flag();
+  [[nodiscard]] Ring& local_ring();
+
+  mutable std::mutex mutex_;  ///< guards rings_ registration + snapshots
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = kDefaultCapacity;
+  /// Bumped by enable()/clear() so threads re-register stale cached rings.
+  std::atomic<std::uint64_t> generation_{0};
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII span: records [construction, destruction) as one complete event.
+/// The enabled decision is captured at construction, so a span open across
+/// a disable() still completes consistently.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "sim",
+                     const char* arg_name = nullptr, std::uint64_t arg = 0) {
+    if (Tracer::enabled()) {
+      name_ = name;
+      cat_ = cat;
+      arg_name_ = arg_name;
+      arg_ = arg;
+      start_us_ = Tracer::instance().now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::instance();
+      tracer.record(name_, cat_, start_us_, tracer.now_us() - start_us_,
+                    arg_name_, arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace creditflow::util

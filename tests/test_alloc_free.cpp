@@ -19,6 +19,7 @@
 
 #include "p2p/protocol.hpp"
 #include "sim/simulator.hpp"
+#include "util/trace.hpp"
 
 // GCC pairs `new` expressions it inlines with our malloc-backed
 // replacement delete and flags the malloc/free mismatch it cannot see
@@ -111,6 +112,23 @@ TEST(AllocationFreeCore, TaxationRoundsDoNotAllocate) {
   cfg.tax.threshold = 50.0;
   EXPECT_EQ(allocations_during_rounds(cfg, 150.0, 50.0), 0u)
       << "the taxation round loop allocated";
+}
+
+TEST(AllocationFreeCore, TracingEnabledSteadyStateDoesNotAllocate) {
+  // With the span tracer live, steady-state rounds must still be
+  // allocation-free: spans write into pre-reserved thread-local rings.
+  // enable() happens before the warm-up so the one-time ring registration
+  // (the only allocating step) lands outside the measured window.
+  util::Tracer::instance().enable();
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 300;
+  cfg.max_peers = 300;
+  cfg.initial_credits = 100;
+  cfg.seed = 13;
+  EXPECT_EQ(allocations_during_rounds(cfg, 100.0, 50.0), 0u)
+      << "the traced steady-state round loop allocated";
+  util::Tracer::instance().disable();
+  util::Tracer::instance().clear();
 }
 
 }  // namespace

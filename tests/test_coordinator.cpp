@@ -71,6 +71,8 @@ Rendered render(const ScenarioSpec& base, const SweepSpec& sweep,
     RunResult deterministic = r;
     deterministic.telemetry.wall_seconds = 0.0;
     deterministic.telemetry.purchase_phase_seconds = 0.0;
+    deterministic.telemetry.seed_phase_seconds = 0.0;
+    deterministic.telemetry.tax_phase_seconds = 0.0;
     deterministic.telemetry.peak_rss_bytes = 0;
     deterministic.telemetry.from_cache = false;
     out.records += serialize_run_record(plan.key(r.run_index), deterministic);
@@ -291,6 +293,73 @@ TEST(Coordinator, Fig11ChurnSweepMatchesThePinnedGoldenHashes) {
   EXPECT_EQ(util::fnv1a64(sink.aggregate_csv()), 0xbd9622db89f1920bULL);
   EXPECT_EQ(util::fnv1a64(sink.aggregate_json()), 0x1d7620dbf7cda782ULL);
   EXPECT_EQ(util::fnv1a64(sink.runs_csv()), 0xc27d93ece3617262ULL);
+}
+
+// ---- Live status endpoint ------------------------------------------------
+
+TEST(Coordinator, StatusEndpointServesLiveAndDrainedState) {
+  Coordinator::Options options;
+  options.status_port = 0;  // ephemeral second listener
+  options.drain_seconds = 5.0;
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ASSERT_NE(coordinator.status_port(), 0);
+  ASSERT_NE(coordinator.status_port(), coordinator.port());
+  ServeThread serve(coordinator);
+
+  // One HTTP request per connection; the coordinator closes after the body.
+  const auto fetch = [&](const std::string& request_line) {
+    util::Socket s =
+        util::Socket::connect("127.0.0.1", coordinator.status_port(), 5.0);
+    EXPECT_TRUE(s.send_all(request_line + "\r\n\r\n"));
+    std::string response;
+    while (s.recv_some(response, 5.0) == util::IoStatus::kOk) {
+    }
+    return response;
+  };
+  const auto has = [](const std::string& haystack, const std::string& needle) {
+    return haystack.find(needle) != std::string::npos;
+  };
+
+  // Mid-flight, before any worker connects: the plan is visible, nothing
+  // has completed, and the response is a well-formed HTTP/JSON exchange.
+  const std::string before = fetch("GET /status HTTP/1.0");
+  EXPECT_TRUE(has(before, "HTTP/1.0 200 OK")) << before;
+  EXPECT_TRUE(has(before, "Content-Type: application/json")) << before;
+  EXPECT_TRUE(has(before, "\"plan_runs\":8")) << before;
+  EXPECT_TRUE(has(before, "\"completed\":0")) << before;
+  EXPECT_TRUE(has(before, "\"done\":false")) << before;
+  EXPECT_TRUE(has(before, "\"workers\":[]")) << before;
+
+  // Unknown paths get a 404, not a hang or a protocol error.
+  const std::string lost = fetch("GET /nope HTTP/1.0");
+  EXPECT_TRUE(has(lost, "404")) << lost;
+  EXPECT_TRUE(has(lost, "try GET /status")) << lost;
+
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  EXPECT_TRUE(report.completed) << report.error;
+
+  // The workers are gone, but within the drain window a final scrape still
+  // observes the drained terminal state — that is the whole point of
+  // keeping the loop alive when the endpoint is enabled.
+  const std::string after = fetch("GET /status HTTP/1.0");
+  EXPECT_TRUE(has(after, "HTTP/1.0 200 OK")) << after;
+  EXPECT_TRUE(has(after, "\"completed\":8")) << after;
+  EXPECT_TRUE(has(after, "\"executed\":8")) << after;
+  EXPECT_TRUE(has(after, "\"pending\":0")) << after;
+  EXPECT_TRUE(has(after, "\"leased\":0")) << after;
+  EXPECT_TRUE(has(after, "\"done\":true")) << after;
+  EXPECT_TRUE(has(after, "\"eta_seconds\":0")) << after;
+  EXPECT_TRUE(has(after, "\"lease_wall_ms\":{\"count\":8")) << after;
+
+  const auto results = serve.join();
+  EXPECT_EQ(results.size(), 8u);
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(),
+                          reference_results(tiny_base(), tiny_sweep())));
 }
 
 // ---- Warm RunStore -------------------------------------------------------

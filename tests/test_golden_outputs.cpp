@@ -19,6 +19,7 @@
 
 #include "scenario/scenario.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace creditflow::scenario {
 namespace {
@@ -54,6 +55,25 @@ TEST(GoldenOutputs, Fig11ChurnSweepMatchesPreRefactorEngine) {
   sweep.axes.push_back(SweepAxis::parse("churn.mean_lifespan=100,200"));
   sweep.seeds = 2;
   const ResultSink sink = run_sweep("fig11_churn", 400.0, std::move(sweep));
+  expect_hashes(sink, 0xbd9622db89f1920bULL, 0x1d7620dbf7cda782ULL,
+                0xc27d93ece3617262ULL);
+}
+
+TEST(GoldenOutputs, Fig11ChurnSweepIdenticalWithTracingEnabled) {
+  // Observability must be a pure readout: with the span tracer live (and
+  // the purchase-latency histogram it gates), the same sweep must land the
+  // same pinned hashes byte for byte — tracing consumes no RNG and changes
+  // no emitted bytes.
+  util::Tracer::instance().enable();
+  SweepSpec sweep;
+  sweep.axes.push_back(SweepAxis::parse("churn.arrival_rate=1,2"));
+  sweep.axes.push_back(SweepAxis::parse("churn.mean_lifespan=100,200"));
+  sweep.seeds = 2;
+  const ResultSink sink = run_sweep("fig11_churn", 400.0, std::move(sweep));
+  EXPECT_GT(util::Tracer::instance().snapshot().size(), 0u)
+      << "tracing was supposed to be live during the sweep";
+  util::Tracer::instance().disable();
+  util::Tracer::instance().clear();
   expect_hashes(sink, 0xbd9622db89f1920bULL, 0x1d7620dbf7cda782ULL,
                 0xc27d93ece3617262ULL);
 }

@@ -259,5 +259,44 @@ TEST(Metrics, CounterCellsSurviveClear) {
   EXPECT_EQ(m.counter_cell("hot.counter"), cell);
 }
 
+TEST(Metrics, HistogramCellsRecordAndReadBack) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.histogram("missing"), nullptr);
+  util::Log2Histogram* h = m.histogram_cell("purchase.latency_us");
+  ASSERT_NE(h, nullptr);
+  h->add(100);
+  h->add(200);
+  const util::Log2Histogram* read = m.histogram("purchase.latency_us");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read, h);
+  EXPECT_EQ(read->count(), 2u);
+  EXPECT_DOUBLE_EQ(read->sum(), 300.0);
+  EXPECT_EQ(m.histogram_names(),
+            (std::vector<std::string>{"purchase.latency_us"}));
+}
+
+// Same cell-stability contract as counters: the protocol caches histogram
+// and gauge cell pointers at start(); clear() must zero in place.
+TEST(Metrics, HistogramAndGaugeCellsSurviveClear) {
+  MetricsRegistry m;
+  util::Log2Histogram* h = m.histogram_cell("hot.hist");
+  double* g = m.gauge_cell("hot.gauge");
+  h->add(64);
+  *g = 9.0;
+
+  m.clear();
+  ASSERT_NE(m.histogram("hot.hist"), nullptr);
+  EXPECT_TRUE(m.histogram("hot.hist")->empty());
+  EXPECT_DOUBLE_EQ(m.gauge("hot.gauge"), 0.0);
+  // Old pointers remain the live storage after clear().
+  h->add(5);
+  *g = 2.5;
+  EXPECT_EQ(m.histogram("hot.hist")->count(), 1u);
+  EXPECT_EQ(m.histogram("hot.hist")->min(), 5u);
+  EXPECT_DOUBLE_EQ(m.gauge("hot.gauge"), 2.5);
+  EXPECT_EQ(m.histogram_cell("hot.hist"), h);
+  EXPECT_EQ(m.gauge_cell("hot.gauge"), g);
+}
+
 }  // namespace
 }  // namespace creditflow::sim

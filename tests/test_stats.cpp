@@ -2,6 +2,8 @@
 // time series reductions.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -128,6 +130,101 @@ TEST(Histogram, CenterComputation) {
   Histogram h(0.0, 10.0, 5);
   EXPECT_DOUBLE_EQ(h.center(0), 1.0);
   EXPECT_DOUBLE_EQ(h.center(4), 9.0);
+}
+
+TEST(Log2Histogram, BucketBoundariesFollowBitWidth) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Log2Histogram::bucket_of(~0ULL), 64u);
+  // Every sample lands inside [bucket_lo, bucket_hi) of its own bucket.
+  for (std::uint64_t x : {0ULL, 1ULL, 2ULL, 3ULL, 5ULL, 1000ULL, 1ULL << 40}) {
+    const std::size_t b = Log2Histogram::bucket_of(x);
+    EXPECT_GE(x, Log2Histogram::bucket_lo(b)) << x;
+    EXPECT_LT(x, Log2Histogram::bucket_hi(b)) << x;
+  }
+}
+
+TEST(Log2Histogram, CountsSumMinMax) {
+  Log2Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.5), 0.0);
+  for (std::uint64_t x : {3ULL, 3ULL, 5ULL, 9ULL, 0ULL}) h.add(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // the zero
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 3, 3 in [2,4)
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 5 in [4,8)
+  EXPECT_EQ(h.bucket_count(4), 1u);  // 9 in [8,16)
+}
+
+TEST(Log2Histogram, QuantilesClampToObservedRange) {
+  Log2Histogram h;
+  for (std::uint64_t i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(1.0), 100.0);
+  // Log-bucketed medians carry up to ~2x relative error; pin the band.
+  const double p50 = h.approx_quantile(0.5);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  const double p90 = h.approx_quantile(0.9);
+  EXPECT_GE(p90, p50);
+}
+
+TEST(Log2Histogram, MergeEqualsSequential) {
+  Log2Histogram a, b, all;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    (i % 2 == 0 ? a : b).add(i * 17);
+    all.add(i * 17);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (std::size_t bkt = 0; bkt < Log2Histogram::kBuckets; ++bkt) {
+    EXPECT_EQ(a.bucket_count(bkt), all.bucket_count(bkt)) << "bucket " << bkt;
+  }
+}
+
+TEST(Log2Histogram, MergeWithEmptyPreservesMin) {
+  Log2Histogram a, b;
+  a.add(7);
+  a.merge(b);  // merging in an empty histogram must not clobber min
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.min(), 7u);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Log2Histogram, ResetZeroesInPlace) {
+  Log2Histogram h;
+  h.add(42);
+  h.add(0);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (std::size_t bkt = 0; bkt < Log2Histogram::kBuckets; ++bkt) {
+    EXPECT_EQ(h.bucket_count(bkt), 0u);
+  }
+  h.add(3);  // usable again after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 3u);
 }
 
 TEST(TimeSeries, AddAndAccess) {

@@ -1,0 +1,249 @@
+// Tests for util/trace: Chrome trace-event emission, span nesting, ring
+// wrap-around accounting, and the disabled no-op contract — plus the
+// integration guarantee that a traced market emits the protocol phase
+// spans the observability layer promises.
+//
+// The tracer is a process-wide singleton, so every test here restores the
+// disabled+cleared state on exit; the golden-output and allocation tests
+// in their own files rely on that same discipline.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <thread>
+
+#include "core/market.hpp"
+#include "util/trace.hpp"
+
+namespace creditflow::util {
+namespace {
+
+/// Minimal recursive-descent JSON validator — accepts exactly (a superset
+/// of) what Tracer::json() can emit; no values are interpreted, only
+/// grammar is checked. Returns true iff `text` is one valid JSON value
+/// with nothing but whitespace after it.
+class JsonValidator {
+ public:
+  static bool valid(const std::string& text) {
+    JsonValidator v(text);
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    do {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string()) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':') || !value()) return false;
+      skip_ws();
+    } while (consume(','));
+    return consume('}');
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+      skip_ws();
+    } while (consume(','));
+    return consume(']');
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Restore the global tracer to pristine (disabled, empty) on scope exit.
+struct TracerGuard {
+  ~TracerGuard() {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+std::size_t count_named(const std::vector<TraceEvent>& events,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events) {
+    if (name == ev.name) ++n;
+  }
+  return n;
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  const TracerGuard guard;
+  Tracer::instance().disable();
+  Tracer::instance().clear();
+  EXPECT_FALSE(Tracer::enabled());
+  { const TraceSpan span("ignored", "test"); }
+  Tracer::instance().record("also-ignored", "test", 0, 1);
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+  EXPECT_EQ(Tracer::instance().dropped(), 0u);
+}
+
+TEST(Tracer, EmitsValidJsonWithNestedSpansContained) {
+  const TracerGuard guard;
+  Tracer::instance().enable();
+  {
+    const TraceSpan outer("outer", "test", "depth", 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      const TraceSpan inner("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: the outer span opened first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  // Nesting: the inner complete event lies within the outer one.
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  // The arg payload survives into the args object.
+  EXPECT_STREQ(events[0].arg_name, "depth");
+  EXPECT_EQ(events[0].arg, 1u);
+
+  const std::string json = Tracer::instance().json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":1}"), std::string::npos);
+}
+
+TEST(Tracer, RingWrapKeepsNewestAndCountsDropped) {
+  const TracerGuard guard;
+  Tracer::instance().enable(/*events_per_thread=*/64);
+  for (int i = 0; i < 100; ++i) {
+    Tracer::instance().record("ev", "test", i, 1, "i",
+                              static_cast<std::uint64_t>(i));
+  }
+  const auto events = Tracer::instance().snapshot();
+  EXPECT_EQ(events.size(), 64u);
+  EXPECT_EQ(Tracer::instance().dropped(), 36u);
+  // The survivors are the newest 64 records (36..99), in timestamp order.
+  EXPECT_EQ(events.front().ts_us, 36);
+  EXPECT_EQ(events.back().ts_us, 99);
+  EXPECT_TRUE(JsonValidator::valid(Tracer::instance().json()));
+}
+
+TEST(Tracer, ReenableDropsOldEvents) {
+  const TracerGuard guard;
+  Tracer::instance().enable();
+  Tracer::instance().record("old", "test", 0, 1);
+  Tracer::instance().enable();  // restart
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+  Tracer::instance().record("new", "test", 0, 1);
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "new");
+}
+
+TEST(Tracer, TracedMarketEmitsProtocolPhaseSpans) {
+  const TracerGuard guard;
+  Tracer::instance().enable();
+
+  core::MarketConfig cfg;
+  cfg.protocol.initial_peers = 40;
+  cfg.protocol.max_peers = 40;
+  cfg.protocol.initial_credits = 30;
+  cfg.protocol.seed = 7;
+  cfg.protocol.tax.enabled = true;
+  cfg.protocol.tax.rate = 0.1;
+  cfg.protocol.tax.threshold = 20.0;
+  cfg.horizon = 50.0;
+  cfg.snapshot_interval = 25.0;
+  core::CreditMarket market(cfg);
+  const auto report = market.run();
+
+  const auto events = Tracer::instance().snapshot();
+  // One round span per protocol round, each with seed and purchase phases
+  // inside; taxation fires at least once in this configuration; and every
+  // event dispatch got its simulator-level span.
+  EXPECT_EQ(count_named(events, "round"), report.rounds);
+  EXPECT_EQ(count_named(events, "seed"), report.rounds);
+  EXPECT_EQ(count_named(events, "purchase"), report.rounds);
+  EXPECT_GT(count_named(events, "tax"), 0u);
+  EXPECT_GE(count_named(events, "dispatch"), report.rounds);
+  EXPECT_TRUE(JsonValidator::valid(Tracer::instance().json()));
+}
+
+}  // namespace
+}  // namespace creditflow::util
