@@ -109,13 +109,14 @@ BENCHMARK(BM_BufferMapAdvance);
 // of the whole loop (measured around run_until, rounds == iterations) —
 // the number the allocation-free-core work is judged on —
 // phase_us_per_round its purchase-phase share.
-void run_round_benchmark(benchmark::State& state, p2p::ProtocolConfig cfg) {
+void run_round_benchmark(benchmark::State& state, p2p::ProtocolConfig cfg,
+                         double warm_seconds = 50.0) {
   sim::Simulator simulator;
   p2p::StreamingProtocol proto(cfg, simulator);
   proto.start();
-  simulator.run_until(50.0);  // warm the market
+  simulator.run_until(warm_seconds);  // warm the market
   const double phase_before = proto.purchase_phase_seconds();
-  double t = 50.0;
+  double t = warm_seconds;
   double wall_seconds = 0.0;
   for (auto _ : state) {
     t += 1.0;
@@ -165,6 +166,41 @@ BENCHMARK(BM_SimulationCore)
     ->Arg(1)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
+
+// The scaling curve: the fig11-style open market generalized across
+// population scales 10³..10⁶. The lifespan scales with N (equilibrium
+// population = arrival_rate × mean_lifespan ≈ N, the same relation fig11's
+// 500-peer market satisfies) so churn stays on at every scale while the
+// round loop — not the O(active) preferential-attachment joins — dominates.
+// Iterations are pinned so google-benchmark's adaptive re-runs never re-pay
+// the 10⁶-peer setup; warm-up is a fixed 20 rounds for the same reason.
+// bytes_per_peer divides process peak RSS by the population; RSS is a
+// process-wide high-water mark, so within one process run each size's
+// readout is only meaningful if sizes run ascending (the registration
+// order) — the CI script keeps that order.
+void BM_SimulationCoreScale(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = n;
+  cfg.max_peers = n + n / 8 + 16;  // churn headroom above equilibrium
+  cfg.initial_credits = 100;
+  cfg.seed = 2012;
+  cfg.heterogeneity.spend_rate_cv = 0.3;
+  cfg.churn.enabled = true;
+  cfg.churn.arrival_rate = 2.0;
+  cfg.churn.mean_lifespan = static_cast<double>(n) / 2.0;
+  run_round_benchmark(state, cfg, /*warm_seconds=*/20.0);
+  state.counters["bytes_per_peer"] =
+      peak_rss_bytes() / static_cast<double>(n);
+}
+BENCHMARK(BM_SimulationCoreScale)
+    ->ArgNames({"peers"})
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
 
 // Shared scaffolding for the purchase-phase comparisons: warm the market,
 // run one simulated round per benchmark iteration, and report the

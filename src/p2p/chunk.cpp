@@ -2,14 +2,59 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "util/assert.hpp"
 
 namespace creditflow::p2p {
 
 BufferMap::BufferMap(std::size_t capacity)
-    : have_((capacity + 63) / 64, 0), capacity_(capacity) {
+    : own_(words_for(capacity), 0), words_(own_.data()), capacity_(capacity) {
   CF_EXPECTS(capacity > 0);
+}
+
+BufferMap::BufferMap(std::size_t capacity, std::uint64_t* words)
+    : words_(words), capacity_(capacity) {
+  CF_EXPECTS(capacity > 0);
+  CF_EXPECTS(words != nullptr);
+  std::fill(words_, words_ + words_for(capacity_), std::uint64_t{0});
+}
+
+BufferMap::BufferMap(const BufferMap& other)
+    : own_(other.words_, other.words_ + words_for(other.capacity_)),
+      words_(own_.data()),
+      capacity_(other.capacity_),
+      base_(other.base_),
+      count_(other.count_) {}
+
+BufferMap& BufferMap::operator=(const BufferMap& other) {
+  if (this == &other) return *this;
+  own_.assign(other.words_, other.words_ + words_for(other.capacity_));
+  words_ = own_.data();
+  capacity_ = other.capacity_;
+  base_ = other.base_;
+  count_ = other.count_;
+  return *this;
+}
+
+BufferMap::BufferMap(BufferMap&& other) noexcept
+    : own_(std::move(other.own_)),
+      words_(own_.empty() ? other.words_ : own_.data()),
+      capacity_(other.capacity_),
+      base_(other.base_),
+      count_(other.count_) {
+  other.words_ = nullptr;
+}
+
+BufferMap& BufferMap::operator=(BufferMap&& other) noexcept {
+  if (this == &other) return *this;
+  own_ = std::move(other.own_);
+  words_ = own_.empty() ? other.words_ : own_.data();
+  capacity_ = other.capacity_;
+  base_ = other.base_;
+  count_ = other.count_;
+  other.words_ = nullptr;
+  return *this;
 }
 
 double BufferMap::fill() const {
@@ -23,7 +68,7 @@ std::size_t BufferMap::advance(ChunkId new_base) {
   // whole buffer is cleared.
   if (new_base >= base_ + capacity_) {
     evicted = count_;
-    std::fill(have_.begin(), have_.end(), std::uint64_t{0});
+    std::fill(words_, words_ + words_for(capacity_), std::uint64_t{0});
     count_ = 0;
   } else {
     std::size_t s = slot(base_);
@@ -45,7 +90,7 @@ bool BufferMap::missing_in_slot_range(std::size_t s_lo, std::size_t s_hi,
                                       std::vector<ChunkId>& out,
                                       std::size_t cap) const {
   for (std::size_t w = s_lo / 64; w * 64 < s_hi; ++w) {
-    std::uint64_t gaps = ~have_[w];
+    std::uint64_t gaps = ~words_[w];
     // Mask bits outside [s_lo, s_hi) within this word.
     if (w * 64 < s_lo) gaps &= ~std::uint64_t{0} << (s_lo % 64);
     if (s_hi < (w + 1) * 64) gaps &= ~(~std::uint64_t{0} << (s_hi % 64));
@@ -83,7 +128,7 @@ void BufferMap::missing_into(std::vector<ChunkId>& out,
 }
 
 void BufferMap::reset(ChunkId new_base) {
-  std::fill(have_.begin(), have_.end(), std::uint64_t{0});
+  std::fill(words_, words_ + words_for(capacity_), std::uint64_t{0});
   base_ = new_base;
   count_ = 0;
 }

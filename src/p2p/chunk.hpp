@@ -16,10 +16,32 @@ using ChunkId = std::uint64_t;
 /// Sliding-window chunk availability bitmap (64-bit words under the hood,
 /// so missing-chunk extraction and eviction are bit-walks, not per-slot
 /// branches).
+///
+/// Word storage comes in two flavors: self-owned (the standalone
+/// constructor, used by tests and ad-hoc callers) or externally provided
+/// (the arena constructor) — the market backs every peer's window with one
+/// contiguous arena sized at construction, so a million BufferMaps cost one
+/// allocation and their words pack densely in slot order. Copies always
+/// deep-copy into owned storage (a snapshot must not alias the live arena).
 class BufferMap {
  public:
-  /// Window of `capacity` consecutive chunk slots starting at chunk 0.
+  /// Number of 64-bit words backing a window of `capacity` slots.
+  [[nodiscard]] static std::size_t words_for(std::size_t capacity) {
+    return (capacity + 63) / 64;
+  }
+
+  /// Window of `capacity` consecutive chunk slots starting at chunk 0,
+  /// with self-owned word storage.
   explicit BufferMap(std::size_t capacity);
+
+  /// Arena-backed flavor: `words` must point at words_for(capacity) words
+  /// that outlive this map; they are zeroed here.
+  BufferMap(std::size_t capacity, std::uint64_t* words);
+
+  BufferMap(const BufferMap& other);
+  BufferMap& operator=(const BufferMap& other);
+  BufferMap(BufferMap&& other) noexcept;
+  BufferMap& operator=(BufferMap&& other) noexcept;
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// First chunk id inside the window.
@@ -47,7 +69,7 @@ class BufferMap {
     if (!in_window(c)) return false;
     const std::size_t s = slot(c);
     if (bit(s)) return false;
-    have_[s / 64] |= std::uint64_t{1} << (s % 64);
+    words_[s / 64] |= std::uint64_t{1} << (s % 64);
     ++count_;
     return true;
   }
@@ -72,10 +94,10 @@ class BufferMap {
     return static_cast<std::size_t>(c % capacity_);
   }
   [[nodiscard]] bool bit(std::size_t s) const {
-    return (have_[s / 64] >> (s % 64)) & 1;
+    return (words_[s / 64] >> (s % 64)) & 1;
   }
   void clear_bit(std::size_t s) {
-    have_[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+    words_[s / 64] &= ~(std::uint64_t{1} << (s % 64));
   }
   /// Append the chunks whose slots in [s_lo, s_hi) are unset, as
   /// `chunk_at_lo + (s - s_lo)`, until `cap` results; returns false when
@@ -85,7 +107,10 @@ class BufferMap {
                              std::vector<ChunkId>& out,
                              std::size_t cap) const;
 
-  std::vector<std::uint64_t> have_;  ///< ceil(capacity_/64) words
+  /// Self-owned storage; empty when arena-backed. words_ points at
+  /// whichever backing is live and is what every accessor reads.
+  std::vector<std::uint64_t> own_;
+  std::uint64_t* words_ = nullptr;  ///< words_for(capacity_) words
   std::size_t capacity_;
   ChunkId base_ = 0;
   std::size_t count_ = 0;

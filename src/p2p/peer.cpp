@@ -1,0 +1,62 @@
+#include "p2p/peer.hpp"
+
+namespace creditflow::p2p {
+
+PeerTable::PeerTable(std::size_t max_peers, std::size_t window_chunks)
+    : alive_(max_peers, 0),
+      upload_capacity_(max_peers, 0.0),
+      base_spend_rate_(max_peers, 0.0),
+      join_time_(max_peers, 0.0),
+      depart_time_(max_peers,
+                   std::numeric_limits<double>::infinity()),
+      buffer_words_(max_peers * BufferMap::words_for(window_chunks), 0),
+      credits_earned_(max_peers, 0),
+      credits_spent_(max_peers, 0),
+      chunks_downloaded_(max_peers, 0),
+      chunks_uploaded_(max_peers, 0),
+      chunks_seeded_(max_peers, 0),
+      failed_affordability_(max_peers, 0),
+      failed_availability_(max_peers, 0) {
+  CF_EXPECTS(max_peers > 0);
+  CF_EXPECTS(window_chunks > 0);
+  const std::size_t words = BufferMap::words_for(window_chunks);
+  buffers_.reserve(max_peers);
+  for (std::size_t i = 0; i < max_peers; ++i) {
+    buffers_.emplace_back(window_chunks, buffer_words_.data() + i * words);
+  }
+}
+
+void PeerTable::reset_slot(PeerId i, double now) {
+  CF_EXPECTS(i < size());
+  join_time_[i] = now;
+  depart_time_[i] = std::numeric_limits<double>::infinity();
+  credits_earned_[i] = 0;
+  credits_spent_[i] = 0;
+  chunks_downloaded_[i] = 0;
+  chunks_uploaded_[i] = 0;
+  chunks_seeded_[i] = 0;
+  failed_affordability_[i] = 0;
+  failed_availability_[i] = 0;
+}
+
+PeerState PeerTable::snapshot(PeerId i) const {
+  CF_EXPECTS(i < size());
+  PeerState s;
+  s.id = i;
+  s.alive = alive(i);
+  s.upload_capacity = upload_capacity_[i];
+  s.base_spend_rate = base_spend_rate_[i];
+  s.join_time = join_time_[i];
+  s.depart_time = depart_time_[i];
+  s.buffer = buffers_[i];  // deep copy: snapshots never alias the arena
+  s.credits_earned = credits_earned_[i];
+  s.credits_spent = credits_spent_[i];
+  s.chunks_downloaded = chunks_downloaded_[i];
+  s.chunks_uploaded = chunks_uploaded_[i];
+  s.chunks_seeded = chunks_seeded_[i];
+  s.failed_affordability = failed_affordability_[i];
+  s.failed_availability = failed_availability_[i];
+  return s;
+}
+
+}  // namespace creditflow::p2p

@@ -1,16 +1,25 @@
 // CreditFlow: per-peer protocol state. Balances live in the CreditLedger;
-// everything else a peer carries through the streaming protocol is here.
+// everything else a peer carries through the streaming protocol lives in
+// the PeerTable — a structure-of-arrays layout where each field is one
+// dense array indexed by slot, so the round loop's field sweeps (window
+// advance, budget refresh, snapshots) walk contiguous memory instead of
+// striding over interleaved structs. PeerState remains as the by-value
+// snapshot handed to introspection callers.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "p2p/chunk.hpp"
 #include "p2p/ledger.hpp"
+#include "util/assert.hpp"
 
 namespace creditflow::p2p {
 
-/// Mutable state of one peer slot in the streaming market.
+/// Point-in-time copy of one peer slot's state (see PeerTable for the live
+/// layout). The buffer is a deep copy — snapshots never alias the market's
+/// live word arena.
 struct PeerState {
   PeerId id = 0;
   bool alive = false;
@@ -52,6 +61,113 @@ struct PeerState {
                ? static_cast<double>(chunks_downloaded + chunks_seeded) / a
                : 0.0;
   }
+};
+
+/// Structure-of-arrays store of every peer slot's protocol state. One field
+/// = one dense array indexed by PeerId, allocated once at construction; all
+/// BufferMap windows share a single word arena packed in slot order, so a
+/// million peers cost a handful of allocations and the hot phases touch
+/// only the arrays they need.
+class PeerTable {
+ public:
+  PeerTable(std::size_t max_peers, std::size_t window_chunks);
+
+  PeerTable(const PeerTable&) = delete;
+  PeerTable& operator=(const PeerTable&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return alive_.size(); }
+
+  [[nodiscard]] bool alive(PeerId i) const { return alive_[i] != 0; }
+  void set_alive(PeerId i, bool v) { alive_[i] = v ? 1 : 0; }
+
+  [[nodiscard]] double upload_capacity(PeerId i) const {
+    return upload_capacity_[i];
+  }
+  void set_upload_capacity(PeerId i, double v) { upload_capacity_[i] = v; }
+
+  [[nodiscard]] double base_spend_rate(PeerId i) const {
+    return base_spend_rate_[i];
+  }
+  void set_base_spend_rate(PeerId i, double v) { base_spend_rate_[i] = v; }
+
+  [[nodiscard]] double join_time(PeerId i) const { return join_time_[i]; }
+  void set_join_time(PeerId i, double v) { join_time_[i] = v; }
+
+  [[nodiscard]] double depart_time(PeerId i) const { return depart_time_[i]; }
+  void set_depart_time(PeerId i, double v) { depart_time_[i] = v; }
+
+  [[nodiscard]] BufferMap& buffer(PeerId i) { return buffers_[i]; }
+  [[nodiscard]] const BufferMap& buffer(PeerId i) const { return buffers_[i]; }
+
+  [[nodiscard]] std::uint64_t& credits_earned(PeerId i) {
+    return credits_earned_[i];
+  }
+  [[nodiscard]] std::uint64_t credits_earned(PeerId i) const {
+    return credits_earned_[i];
+  }
+  [[nodiscard]] std::uint64_t& credits_spent(PeerId i) {
+    return credits_spent_[i];
+  }
+  [[nodiscard]] std::uint64_t credits_spent(PeerId i) const {
+    return credits_spent_[i];
+  }
+  [[nodiscard]] std::uint64_t& chunks_downloaded(PeerId i) {
+    return chunks_downloaded_[i];
+  }
+  [[nodiscard]] std::uint64_t& chunks_uploaded(PeerId i) {
+    return chunks_uploaded_[i];
+  }
+  [[nodiscard]] std::uint64_t& chunks_seeded(PeerId i) {
+    return chunks_seeded_[i];
+  }
+  [[nodiscard]] std::uint64_t& failed_affordability(PeerId i) {
+    return failed_affordability_[i];
+  }
+  [[nodiscard]] std::uint64_t& failed_availability(PeerId i) {
+    return failed_availability_[i];
+  }
+
+  /// Reset a slot's scalar fields for (re)activation: counters to zero,
+  /// lifecycle to [now, ∞). Buffer and capabilities are the caller's to
+  /// set — they depend on RNG draws the caller sequences.
+  void reset_slot(PeerId i, double now);
+
+  /// Lifetime average spending rate in credits/sec at time `now`.
+  [[nodiscard]] double lifetime_spend_rate(PeerId i, double now) const {
+    const double a = now - join_time_[i];
+    return a > 0.0 ? static_cast<double>(credits_spent_[i]) / a : 0.0;
+  }
+
+  /// Lifetime average download rate in chunks/sec at time `now` (purchased
+  /// plus seeded).
+  [[nodiscard]] double lifetime_download_rate(PeerId i, double now) const {
+    const double a = now - join_time_[i];
+    return a > 0.0 ? static_cast<double>(chunks_downloaded_[i] +
+                                         chunks_seeded_[i]) /
+                         a
+                   : 0.0;
+  }
+
+  /// Deep-copied point-in-time view of one slot (the introspection API).
+  [[nodiscard]] PeerState snapshot(PeerId i) const;
+
+ private:
+  std::vector<std::uint8_t> alive_;
+  std::vector<double> upload_capacity_;
+  std::vector<double> base_spend_rate_;
+  std::vector<double> join_time_;
+  std::vector<double> depart_time_;
+  /// One arena of BufferMap words for the whole table, packed in slot
+  /// order; sized once and never resized (buffers_ hold raw pointers in).
+  std::vector<std::uint64_t> buffer_words_;
+  std::vector<BufferMap> buffers_;  ///< arena-backed views, one per slot
+  std::vector<std::uint64_t> credits_earned_;
+  std::vector<std::uint64_t> credits_spent_;
+  std::vector<std::uint64_t> chunks_downloaded_;
+  std::vector<std::uint64_t> chunks_uploaded_;
+  std::vector<std::uint64_t> chunks_seeded_;
+  std::vector<std::uint64_t> failed_affordability_;
+  std::vector<std::uint64_t> failed_availability_;
 };
 
 }  // namespace creditflow::p2p

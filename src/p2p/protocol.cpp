@@ -15,6 +15,19 @@ namespace creditflow::p2p {
 
 namespace {
 
+/// Edge-pool sizing for the protocol's overlay: steady state holds
+/// ~mean_degree directed cells per peer (2E = N·d̄), churn joins burst
+/// 2·join_links more; a 2x headroom factor covers both with room for
+/// degree-distribution skew. 8 bytes per cell — the dominant per-peer cost
+/// at paper-default degree 20 is ~320 bytes/peer.
+std::size_t protocol_edge_cells(std::size_t max_peers, double mean_degree,
+                                std::size_t join_links) {
+  const double per_peer =
+      std::max(mean_degree, 2.0 * static_cast<double>(join_links));
+  return max_peers *
+         static_cast<std::size_t>(std::ceil(per_peer)) * 2;
+}
+
 /// Index of the `n`-th (0-based) set bit across `words`; requires that many
 /// set bits to exist.
 std::size_t nth_set_bit(const std::uint64_t* words, std::size_t num_words,
@@ -65,9 +78,11 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
       sim_(simulator),
       rng_(cfg_.seed),
       ledger_(cfg_.max_peers),
-      overlay_(cfg_.max_peers),
+      overlay_(cfg_.max_peers,
+               protocol_edge_cells(cfg_.max_peers, cfg_.overlay_mean_degree,
+                                   cfg_.churn.join_links)),
       owner_index_(cfg_.max_peers, std::max<std::size_t>(cfg_.window_chunks, 1)),
-      peers_(cfg_.max_peers),
+      peers_(cfg_.max_peers, std::max<std::size_t>(cfg_.window_chunks, 1)),
       pricing_(econ::make_pricing(cfg_.pricing)),
       spending_(make_spending_policy(cfg_.spending)),
       tax_(cfg_.tax) {
@@ -111,10 +126,6 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   candidates_hist_ = metrics_.histogram_cell("purchase.candidates");
   queue_depth_hist_ = metrics_.histogram_cell("sim.queue_depth");
   buyer_latency_hist_ = metrics_.histogram_cell("purchase.buyer_us");
-  for (PeerId id = 0; id < cfg_.max_peers; ++id) {
-    peers_[id].id = id;
-    peers_[id].buffer = BufferMap(cfg_.window_chunks);
-  }
 }
 
 StreamingProtocol::~StreamingProtocol() {
@@ -134,9 +145,9 @@ sim::EventQueue::Callback StreamingProtocol::guard(
   };
 }
 
-const PeerState& StreamingProtocol::peer(PeerId id) const {
+PeerState StreamingProtocol::peer(PeerId id) const {
   CF_EXPECTS(id < peers_.size());
-  return peers_[id];
+  return peers_.snapshot(id);
 }
 
 std::vector<PeerId> StreamingProtocol::alive_peers() const {
@@ -152,38 +163,30 @@ ChunkId StreamingProtocol::stream_head() const {
 }
 
 void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
-  PeerState& p = peers_[id];
-  p.alive = true;
-  p.join_time = now;
-  p.depart_time = std::numeric_limits<double>::infinity();
-  p.upload_capacity = cfg_.heterogeneity.upload_capacity_cv > 0.0
-                          ? rng_.lognormal_mean_cv(
-                                cfg_.upload_capacity,
-                                cfg_.heterogeneity.upload_capacity_cv)
-                          : cfg_.upload_capacity;
-  p.base_spend_rate =
-      cfg_.heterogeneity.spend_rate_cv > 0.0
-          ? rng_.lognormal_mean_cv(cfg_.base_spend_rate,
-                                   cfg_.heterogeneity.spend_rate_cv)
-          : cfg_.base_spend_rate;
-  p.credits_earned = 0;
-  p.credits_spent = 0;
-  p.chunks_downloaded = 0;
-  p.chunks_uploaded = 0;
-  p.chunks_seeded = 0;
-  p.failed_affordability = 0;
-  p.failed_availability = 0;
+  peers_.set_alive(id, true);
+  peers_.reset_slot(id, now);
+  peers_.set_upload_capacity(
+      id, cfg_.heterogeneity.upload_capacity_cv > 0.0
+              ? rng_.lognormal_mean_cv(cfg_.upload_capacity,
+                                       cfg_.heterogeneity.upload_capacity_cv)
+              : cfg_.upload_capacity);
+  peers_.set_base_spend_rate(
+      id, cfg_.heterogeneity.spend_rate_cv > 0.0
+              ? rng_.lognormal_mean_cv(cfg_.base_spend_rate,
+                                       cfg_.heterogeneity.spend_rate_cv)
+              : cfg_.base_spend_rate);
   const ChunkId head =
       static_cast<ChunkId>(now * cfg_.stream_rate) + cfg_.window_chunks;
   const ChunkId base = head - cfg_.window_chunks;
-  p.buffer.reset(base);
+  BufferMap& buffer = peers_.buffer(id);
+  buffer.reset(base);
   owner_index_.on_clear(id);
   // Warm start: join holding most of the current window, as a peer that has
   // been streaming for a while (or bootstrapped quickly) would.
   if (cfg_.warm_start_fill > 0.0) {
     for (ChunkId c = base; c < head; ++c) {
       if (rng_.bernoulli(cfg_.warm_start_fill)) {
-        p.buffer.set(c);
+        buffer.set(c);
         owner_index_.on_gain(id, c);
       }
     }
@@ -211,9 +214,9 @@ void StreamingProtocol::start() {
     if (cfg_.churn.enabled) {
       const double lifespan =
           rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
-      peers_[id].depart_time = sim_.now() + lifespan;
+      peers_.set_depart_time(id, sim_.now() + lifespan);
       sim_.schedule_after(lifespan, guard([this, id](double t) {
-                            if (peers_[id].alive) handle_departure(id, t);
+                            if (peers_.alive(id)) handle_departure(id, t);
                           }));
     }
   }
@@ -267,15 +270,15 @@ void StreamingProtocol::handle_arrival(double now) {
   ++*churn_arrivals_;
 
   const double lifespan = rng_.exponential(1.0 / cfg_.churn.mean_lifespan);
-  peers_[id].depart_time = now + lifespan;
+  peers_.set_depart_time(id, now + lifespan);
   sim_.schedule_after(lifespan, guard([this, id](double t) {
-                        if (peers_[id].alive) handle_departure(id, t);
+                        if (peers_.alive(id)) handle_departure(id, t);
                       }));
 }
 
 void StreamingProtocol::handle_departure(PeerId id, double now) {
   const util::TraceSpan span("churn.departure", "churn", "peer", id);
-  CF_EXPECTS(peers_[id].alive);
+  CF_EXPECTS(peers_.alive(id));
   (void)now;
   // The departing peer takes its credits out of the market.
   const Credits taken = ledger_.burn_all(id);
@@ -284,7 +287,7 @@ void StreamingProtocol::handle_departure(PeerId id, double now) {
   tax_.forget_peer(id);
   overlay_.leave(id);
   owner_index_.on_clear(id);
-  peers_[id].alive = false;
+  peers_.set_alive(id, false);
 }
 
 void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
@@ -309,15 +312,15 @@ void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
       if (cfg_.deficit_seeding) {
         for (std::size_t probe = 0; probe < 3; ++probe) {
           const PeerId other = alive[rng_.uniform_index(alive.size())];
-          if (peers_[other].buffer.count() <
-              peers_[target].buffer.count()) {
+          if (peers_.buffer(other).count() <
+              peers_.buffer(target).count()) {
             target = other;
           }
         }
       }
-      if (peers_[target].buffer.set(c)) {
+      if (peers_.buffer(target).set(c)) {
         owner_index_.on_gain(target, c);
-        ++peers_[target].chunks_seeded;
+        ++peers_.chunks_seeded(target);
       }
     }
   }
@@ -335,10 +338,11 @@ void StreamingProtocol::run_round(double now) {
   const auto active = overlay_.active_peers();
   round_order_.assign(active.begin(), active.end());
   for (PeerId id : round_order_) {
-    const ChunkId old_base = peers_[id].buffer.base();
-    peers_[id].buffer.advance(window_base);
+    BufferMap& buffer = peers_.buffer(id);
+    const ChunkId old_base = buffer.base();
+    buffer.advance(window_base);
     owner_index_.on_advance(id, old_base, window_base);
-    upload_budget_[id] = peers_[id].upload_capacity * cfg_.round_seconds;
+    upload_budget_[id] = peers_.upload_capacity(id) * cfg_.round_seconds;
   }
 
   // 2. Source emits and seeds fresh chunks.
@@ -383,17 +387,19 @@ void StreamingProtocol::run_round(double now) {
 
 void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
   const ScopedLatencySample latency(buyer_latency_hist_);
-  PeerState& buyer = peers_[buyer_id];
-  if (!buyer.alive) return;  // departed mid-round
+  if (!peers_.alive(buyer_id)) return;  // departed mid-round
+  BufferMap& buyer_buffer = peers_.buffer(buyer_id);
 
-  double budget = spending_->round_budget(
-      buyer.base_spend_rate, ledger_.balance(buyer_id), cfg_.round_seconds);
+  double budget = spending_->round_budget(peers_.base_spend_rate(buyer_id),
+                                          ledger_.balance(buyer_id),
+                                          cfg_.round_seconds);
   if (budget <= 0.0) return;
 
-  buyer.buffer.missing_into(missing_scratch_);
+  buyer_buffer.missing_into(missing_scratch_);
   auto& missing = missing_scratch_;
   if (missing.empty()) return;
-  const auto neighbors = overlay_.neighbors(buyer_id);
+  overlay_.neighbors_into(buyer_id, neighbor_scratch_);
+  const std::span<const PeerId> neighbors = neighbor_scratch_;
   if (neighbors.empty()) return;
 
   // Freshest-first: a fresh chunk stays sellable for the whole window while
@@ -425,7 +431,7 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
   // round), and upload budgets only *decrease*, which the re-check in the
   // loop below mirrors exactly.
   if (cfg_.use_owner_index) {
-    build_purchase_candidates(neighbors, missing, buyer.buffer.base());
+    build_purchase_candidates(neighbors, missing, buyer_buffer.base());
   }
 
   std::size_t purchased = 0;
@@ -475,7 +481,7 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
             m &= m - 1;
             seller_ids_.push_back(candidate);
             seller_weights_.push_back(
-                static_cast<double>(peers_[candidate].buffer.count()) + 1.0);
+                static_cast<double>(peers_.buffer(candidate).count()) + 1.0);
           }
           seller_id = seller_ids_[rng_.discrete(seller_weights_)];
         } else {
@@ -530,7 +536,7 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
               m &= m - 1;
               seller_ids_.push_back(candidate);
               seller_weights_.push_back(
-                  static_cast<double>(peers_[candidate].buffer.count()) +
+                  static_cast<double>(peers_.buffer(candidate).count()) +
                   1.0);
             }
           }
@@ -593,7 +599,7 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
               m &= m - 1;
               seller_ids_.push_back(candidate);
               seller_weights_.push_back(
-                  static_cast<double>(peers_[candidate].buffer.count()) +
+                  static_cast<double>(peers_.buffer(candidate).count()) +
                   1.0);
             }
           }
@@ -610,13 +616,13 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
       seller_ids_.clear();
       seller_weights_.clear();
       for (PeerId nbr : neighbors) {
-        const PeerState& s = peers_[nbr];
-        if (!s.alive || upload_budget_[nbr] < 1.0) continue;
-        if (!s.buffer.has(chunk)) continue;
+        if (!peers_.alive(nbr) || upload_budget_[nbr] < 1.0) continue;
+        const BufferMap& nbr_buffer = peers_.buffer(nbr);
+        if (!nbr_buffer.has(chunk)) continue;
         seller_ids_.push_back(nbr);
         if (fill_weighted) {
           seller_weights_.push_back(
-              static_cast<double>(s.buffer.count()) + 1.0);
+              static_cast<double>(nbr_buffer.count()) + 1.0);
         }
       }
       if (!seller_ids_.empty()) {
@@ -639,23 +645,23 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
       }
     }
     if (!have_seller) {
-      ++buyer.failed_availability;
+      ++peers_.failed_availability(buyer_id);
       continue;
     }
     const econ::Credits price = pricing_->price(seller_id, chunk);
 
     if (static_cast<double>(price) > budget) {
-      ++buyer.failed_affordability;
+      ++peers_.failed_affordability(buyer_id);
       continue;  // cheaper chunks later in the window may still fit
     }
     if (price > 0 && !ledger_.transfer(buyer_id, seller_id, price)) {
-      ++buyer.failed_affordability;
+      ++peers_.failed_affordability(buyer_id);
       ++*liquidity_failures_;
       continue;
     }
 
     // Delivery.
-    const bool fresh = buyer.buffer.set(chunk);
+    const bool fresh = buyer_buffer.set(chunk);
     CF_ENSURES_MSG(fresh, "purchased a chunk already held");
     owner_index_.on_gain(buyer_id, chunk);
     upload_budget_[seller_id] -= 1.0;
@@ -665,11 +671,10 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
     budget -= static_cast<double>(price);
     ++purchased;
 
-    PeerState& seller = peers_[seller_id];
-    buyer.credits_spent += price;
-    seller.credits_earned += price;
-    ++buyer.chunks_downloaded;
-    ++seller.chunks_uploaded;
+    peers_.credits_spent(buyer_id) += price;
+    peers_.credits_earned(seller_id) += price;
+    ++peers_.chunks_downloaded(buyer_id);
+    ++peers_.chunks_uploaded(seller_id);
     trace_.record(now, buyer_id, seller_id, chunk, price);
     ++*tx_count_;
     *tx_volume_ += price;
@@ -814,14 +819,14 @@ void StreamingProtocol::spend_rate_snapshot(std::vector<double>& out) const {
   out.reserve(alive.size());
   const double now = sim_.now();
   for (PeerId id : alive) {
-    out.push_back(peers_[id].lifetime_spend_rate(now));
+    out.push_back(peers_.lifetime_spend_rate(id, now));
   }
 }
 
 void StreamingProtocol::begin_rate_window() {
   spent_marker_.resize(peers_.size());
   for (std::size_t i = 0; i < peers_.size(); ++i) {
-    spent_marker_[i] = peers_[i].credits_spent;
+    spent_marker_[i] = peers_.credits_spent(i);
   }
   marker_time_ = sim_.now();
 }
@@ -844,9 +849,9 @@ void StreamingProtocol::windowed_spend_rates(
     const auto spent_before =
         id < spent_marker_.size() ? spent_marker_[id] : 0;
     const auto spent =
-        peers_[id].credits_spent >= spent_before
-            ? peers_[id].credits_spent - spent_before
-            : peers_[id].credits_spent;  // peer slot recycled mid-window
+        peers_.credits_spent(id) >= spent_before
+            ? peers_.credits_spent(id) - spent_before
+            : peers_.credits_spent(id);  // peer slot recycled mid-window
     out.push_back(static_cast<double>(spent) / dt);
   }
 }
@@ -864,7 +869,7 @@ void StreamingProtocol::download_rate_snapshot(
   out.reserve(alive.size());
   const double now = sim_.now();
   for (PeerId id : alive) {
-    out.push_back(peers_[id].lifetime_download_rate(now));
+    out.push_back(peers_.lifetime_download_rate(id, now));
   }
 }
 
@@ -872,7 +877,7 @@ double StreamingProtocol::mean_buffer_fill() const {
   const auto alive = overlay_.active_peers();
   if (alive.empty()) return 0.0;
   double total = 0.0;
-  for (PeerId id : alive) total += peers_[id].buffer.fill();
+  for (PeerId id : alive) total += peers_.buffer(id).fill();
   return total / static_cast<double>(alive.size());
 }
 

@@ -163,7 +163,10 @@ class StreamingProtocol {
   [[nodiscard]] const ProtocolConfig& config() const { return cfg_; }
   [[nodiscard]] const CreditLedger& ledger() const { return ledger_; }
   [[nodiscard]] const Overlay& overlay() const { return overlay_; }
-  [[nodiscard]] const PeerState& peer(PeerId id) const;
+  /// Deep-copied point-in-time view of one peer slot. By value: the live
+  /// state is structure-of-arrays (PeerTable), so there is no PeerState
+  /// object to reference — the snapshot is assembled on demand.
+  [[nodiscard]] PeerState peer(PeerId id) const;
   [[nodiscard]] std::vector<PeerId> alive_peers() const;
   /// Alive peer ids in ascending order, O(1), no copy.
   ///
@@ -285,8 +288,8 @@ class StreamingProtocol {
   util::Rng rng_;
   CreditLedger ledger_;
   Overlay overlay_;
-  OwnerIndex owner_index_;  ///< mirrors every peers_[i].buffer, always live
-  std::vector<PeerState> peers_;
+  OwnerIndex owner_index_;  ///< mirrors every peer buffer, always live
+  PeerTable peers_;         ///< SoA per-peer state, arena-backed buffers
   std::unique_ptr<econ::PricingScheme> pricing_;
   std::unique_ptr<SpendingPolicy> spending_;
   econ::TaxationEngine tax_;
@@ -307,6 +310,9 @@ class StreamingProtocol {
   std::vector<std::uint64_t> slot_masks_;
   std::size_t eligible_words_ = 0;
   std::vector<ChunkId> missing_scratch_;
+  /// Buyer's neighbor list, materialized once per purchase phase from the
+  /// overlay's edge-pool chain (allocation-free at high-water capacity).
+  std::vector<PeerId> neighbor_scratch_;
   ChunkId phase_base_ = 0;          ///< current phase's window base
   std::size_t phase_base_slot_ = 0; ///< its ring slot (one divide per phase)
   /// Current phase fits the single-word fast path: the window is ≤ 64

@@ -8,17 +8,22 @@
 // across a block of further rounds. This pins the tentpole property of the
 // allocation-free core end to end — window advance, seeding, the purchase
 // phase, taxation, and the event queue's fire/reschedule cycle — not just
-// one subsystem. (Churn is exercised by the golden tests instead: arrivals
-// legitimately grow adjacency rows toward their high-water capacity, which
-// is amortized-O(1), not zero.)
+// one subsystem. Membership churn gets its own burst test: the overlay's
+// fixed-capacity edge pool makes join/leave heap-silent, so a warmed
+// overlay must absorb sustained join/leave bursts at zero allocations.
+// (The protocol's churn *events* still allocate one std::function per
+// scheduled departure — simulator bookkeeping, not market state.)
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
 #include <new>
 
+#include "graph/generators.hpp"
+#include "p2p/overlay.hpp"
 #include "p2p/protocol.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 #include "util/trace.hpp"
 
 // GCC pairs `new` expressions it inlines with our malloc-backed
@@ -112,6 +117,38 @@ TEST(AllocationFreeCore, TaxationRoundsDoNotAllocate) {
   cfg.tax.threshold = 50.0;
   EXPECT_EQ(allocations_during_rounds(cfg, 150.0, 50.0), 0u)
       << "the taxation round loop allocated";
+}
+
+TEST(AllocationFreeCore, OverlayJoinLeaveBurstsDoNotAllocate) {
+  // The edge-pool property head on: once the overlay has seen its
+  // high-water population once (free list populated, join-weight scratch
+  // at capacity), arbitrary join/leave bursts — including the
+  // lowest-inactive-slot scan every protocol arrival performs — touch the
+  // pool's free list and nothing else. Zero allocations, not amortized.
+  util::Rng rng(14);
+  graph::ScaleFreeParams sf;
+  sf.target_mean_degree = 20.0;
+  const auto g = graph::scale_free(300, sf, rng);
+  p2p::Overlay overlay(420);
+  overlay.init_from_graph(g);
+  // Warm-up: drive membership to the slot capacity once, then carve out
+  // the churn headroom the burst will recycle.
+  for (std::uint32_t p = 300; p < 420; ++p) overlay.join(p, 10, rng);
+  for (std::uint32_t p = 350; p < 420; ++p) overlay.leave(p);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 100; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      const auto slot = overlay.lowest_inactive_slot();
+      ASSERT_TRUE(slot.has_value());
+      overlay.join(*slot, 10, rng);
+    }
+    for (std::uint32_t p = 350; p < 370; ++p) overlay.leave(p);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "join/leave burst allocated on the edge pool";
+  EXPECT_EQ(overlay.edges_dropped(), 0u)
+      << "edge pool too small for the burst";
 }
 
 TEST(AllocationFreeCore, TracingEnabledSteadyStateDoesNotAllocate) {

@@ -30,10 +30,15 @@ TEST(Overlay, JoinAttachesRequestedLinks) {
   EXPECT_TRUE(o.is_active(7));
   EXPECT_EQ(o.degree(7), 3u);
   EXPECT_EQ(o.num_active(), 7u);
-  // Bidirectional edges.
-  for (auto nbr : o.neighbors(7)) {
+  // Bidirectional edges (nested queries: caller-owned scratch keeps the
+  // outer list stable while the inner one is materialized).
+  std::vector<std::uint32_t> nbrs;
+  std::vector<std::uint32_t> back_nbrs;
+  o.neighbors_into(7, nbrs);
+  for (auto nbr : nbrs) {
     bool found = false;
-    for (auto back : o.neighbors(nbr)) {
+    o.neighbors_into(nbr, back_nbrs);
+    for (auto back : back_nbrs) {
       if (back == 7) found = true;
     }
     EXPECT_TRUE(found);
@@ -67,7 +72,7 @@ TEST(Overlay, LeaveRemovesEdgesBothSides) {
   EXPECT_EQ(o.num_active(), 3u);
   EXPECT_EQ(o.degree(2), 0u);
   for (auto p : {0u, 1u, 3u}) {
-    for (auto nbr : o.neighbors(p)) EXPECT_NE(nbr, 2u);
+    o.for_each_neighbor(p, [](std::uint32_t nbr) { EXPECT_NE(nbr, 2u); });
     EXPECT_EQ(o.degree(p), 2u);
   }
 }
@@ -103,9 +108,9 @@ TEST(Overlay, PreferentialAttachmentFavorsHighDegree) {
     Overlay o(11);
     o.init_from_graph(g);
     o.join(10, 1, rng);
-    for (auto nbr : o.neighbors(10)) {
+    o.for_each_neighbor(10, [&](std::uint32_t nbr) {
       if (nbr == 0) ++hub_attachments;
-    }
+    });
   }
   // Hub weight = (9+1)/(9+1 + 9*(1+1)) ~ 0.36 ≥ uniform 0.1.
   EXPECT_GT(hub_attachments, trials / 5);
@@ -165,6 +170,69 @@ TEST(Overlay, LowestInactiveSlotTracksMembership) {
   EXPECT_FALSE(o.lowest_inactive_slot().has_value());
   o.leave(129);
   EXPECT_EQ(*o.lowest_inactive_slot(), 129u);
+}
+
+TEST(Overlay, EdgePoolRecyclesCells) {
+  // Leaves must return every incident cell to the free list, so sustained
+  // churn cannot grow the pool footprint.
+  util::Rng rng(12);
+  const auto g = graph::complete(6);
+  Overlay o(12);
+  o.init_from_graph(g);
+  const std::size_t baseline = o.edge_cells_in_use();
+  EXPECT_EQ(baseline, 2u * 15u);  // K6: 15 undirected edges
+  for (int round = 0; round < 50; ++round) {
+    o.join(7, 3, rng);
+    o.join(8, 2, rng);
+    o.leave(7);
+    o.leave(8);
+    EXPECT_EQ(o.edge_cells_in_use(), baseline);
+  }
+  EXPECT_EQ(o.edges_dropped(), 0u);
+}
+
+TEST(Overlay, EdgePoolExhaustionRefusesNotGrows) {
+  // A pool sized for exactly the bootstrap graph refuses further edges
+  // (counted, not thrown) and resumes once a leave frees cells.
+  util::Rng rng(13);
+  const auto g = graph::complete(4);  // 6 undirected edges = 12 cells
+  Overlay o(8, /*edge_cells=*/12);
+  o.init_from_graph(g);
+  EXPECT_EQ(o.edge_cells_in_use(), 12u);
+  o.join(5, 2, rng);  // pool is full: join attaches nothing
+  EXPECT_TRUE(o.is_active(5));
+  EXPECT_EQ(o.degree(5), 0u);
+  EXPECT_GT(o.edges_dropped(), 0u);
+  const auto dropped = o.edges_dropped();
+  o.leave(0);  // frees 6 cells
+  EXPECT_TRUE(o.add_edge(5, 1));
+  EXPECT_EQ(o.degree(5), 1u);
+  EXPECT_EQ(o.edges_dropped(), dropped);
+}
+
+TEST(Overlay, RemovalPreservesSwapWithBackOrder) {
+  // Neighbor-list order after a removal must match the retired
+  // vector<vector> engine: the tail entry is moved into the removed
+  // entry's position (swap-with-back), not compacted in place — every
+  // RNG-consuming walk depends on this order.
+  util::Rng rng(14);
+  Overlay o(8);
+  const auto g = graph::complete(5);
+  o.init_from_graph(g);
+  // Row 0 starts as [1, 2, 3, 4] (graph order). Removing 2 moves the
+  // back (4) into its slot: [1, 4, 3].
+  o.leave(2);
+  std::vector<std::uint32_t> nbrs;
+  o.neighbors_into(0, nbrs);
+  EXPECT_EQ(nbrs, (std::vector<std::uint32_t>{1, 4, 3}));
+  // Removing the new back (3) just pops it: [1, 4].
+  o.leave(3);
+  o.neighbors_into(0, nbrs);
+  EXPECT_EQ(nbrs, (std::vector<std::uint32_t>{1, 4}));
+  // Removing the head (1) moves 4 forward: [4].
+  o.leave(1);
+  o.neighbors_into(0, nbrs);
+  EXPECT_EQ(nbrs, (std::vector<std::uint32_t>{4}));
 }
 
 TEST(FixedSpending, BudgetIsRateTimesRound) {
