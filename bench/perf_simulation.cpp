@@ -275,6 +275,26 @@ BENCHMARK(BM_PurchasePhaseBacklogged)
     ->Args({64, 1})
     ->Unit(benchmark::kMillisecond);
 
+// The PR-8 order-book purchase path, end to end: every round posts /
+// reprices asks for the full seller pool and crosses the book for every
+// purchase (adaptive pricing, partial fills, drain expiry). Compare
+// round_us_per_round against BM_ProtocolRound at the same population for
+// the book's overhead over the direct seller pick; CI archives these
+// counters as BENCH_orderbook.json and gates them like the core's.
+void BM_OrderBook(benchmark::State& state) {
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = static_cast<std::size_t>(state.range(0));
+  cfg.max_peers = cfg.initial_peers;
+  cfg.initial_credits = 100;
+  cfg.seed = 9;
+  cfg.market_mode = p2p::ProtocolConfig::MarketMode::kOrderBook;
+  cfg.book.ask_pricing =
+      p2p::ProtocolConfig::OrderBookConfig::AskPricing::kAdaptive;
+  cfg.book.base_price = 2;
+  run_round_benchmark(state, cfg);
+}
+BENCHMARK(BM_OrderBook)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
 void BM_ProtocolRoundWithChurn(benchmark::State& state) {
   p2p::ProtocolConfig cfg;
   cfg.initial_peers = 400;

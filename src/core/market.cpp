@@ -88,6 +88,16 @@ MarketReport CreditMarket::run() {
   report.tax_redistributed = protocol_->taxation().total_redistributed();
   report.churn_arrivals = metrics.counter("churn.arrivals");
   report.churn_departures = metrics.counter("churn.departures");
+  report.overlay_edges_dropped = metrics.counter("overlay.edges_dropped");
+  report.churn_arrivals_dropped = metrics.counter("churn.arrivals_dropped");
+  report.book_asks_posted = metrics.counter("book.asks_posted");
+  report.book_posted_qty = metrics.counter("book.posted_qty");
+  report.book_fills = metrics.counter("book.fills");
+  report.book_volume = metrics.counter("book.volume");
+  report.book_asks_expired = metrics.counter("book.asks_expired");
+  report.book_bids_posted = metrics.counter("book.bids_posted");
+  report.book_bids_matched = metrics.counter("book.bids_matched");
+  report.book_bids_expired = metrics.counter("book.bids_expired");
   report.ledger_conserved = protocol_->ledger().audit();
   return report;
 }

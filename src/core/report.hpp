@@ -41,6 +41,21 @@ struct MarketReport {
   double horizon = 0.0;
   bool ledger_conserved = true;
 
+  // Overlay health (PR-7 SoA edge pool): joins whose preferential links
+  // were dropped because the fixed edge pool was exhausted.
+  std::uint64_t overlay_edges_dropped = 0;
+  std::uint64_t churn_arrivals_dropped = 0;
+
+  // Order-book market accounting (all zero when market_mode=direct).
+  std::uint64_t book_asks_posted = 0;    ///< ask posts (incl. reprices)
+  std::uint64_t book_posted_qty = 0;     ///< units offered across all posts
+  std::uint64_t book_fills = 0;          ///< unit fills (== purchases)
+  std::uint64_t book_volume = 0;         ///< credits crossed through the book
+  std::uint64_t book_asks_expired = 0;   ///< churn/drain expiries
+  std::uint64_t book_bids_posted = 0;    ///< resting limit bids posted
+  std::uint64_t book_bids_matched = 0;   ///< bids cleared by a purchase
+  std::uint64_t book_bids_expired = 0;   ///< bids expired on buyer churn
+
   /// Converged Gini estimate: mean over the trailing 25% of the run.
   [[nodiscard]] double converged_gini() const;
 

@@ -11,6 +11,8 @@ RoundSeriesSampler::RoundSeriesSampler(const p2p::StreamingProtocol& protocol,
                                        std::size_t every_rounds,
                                        std::uint64_t expected_rounds)
     : protocol_(protocol),
+      book_mode_(protocol.config().market_mode ==
+                 p2p::ProtocolConfig::MarketMode::kOrderBook),
       every_rounds_(every_rounds == 0 ? 1 : every_rounds) {
   // Reserve everything up front so on_round never allocates: one row per
   // cadence hit plus slack, and snapshot scratch sized to the peer-slot
@@ -41,19 +43,36 @@ void RoundSeriesSampler::on_round(std::uint64_t round, double t) {
       supply > 0.0 ? econ::gini(balances_, gini_scratch_) : 0.0;
   row.mean_buffer_fill = protocol_.mean_buffer_fill();
 
+  if (book_mode_) {
+    const auto stats = protocol_.book_round_stats();
+    row.book_depth = stats.depth;
+    row.book_spread = stats.spread;
+    row.clearing_price = stats.clearing_price;
+    row.fill_ratio = stats.fill_ratio;
+  }
+
   rows_.push_back(row);
 }
 
 std::string RoundSeriesSampler::csv() const {
   std::ostringstream out;
   out << "round,t,alive_peers,gini_balances,credit_supply,mean_balance,"
-         "mean_buffer_fill\n";
+         "mean_buffer_fill";
+  if (book_mode_) out << ",book_depth,book_spread,clearing_price,fill_ratio";
+  out << '\n';
   for (const RoundSample& row : rows_) {
     out << row.round << ',' << util::format_double(row.t) << ','
         << row.alive_peers << ',' << util::format_double(row.gini_balances)
         << ',' << util::format_double(row.credit_supply) << ','
         << util::format_double(row.mean_balance) << ','
-        << util::format_double(row.mean_buffer_fill) << '\n';
+        << util::format_double(row.mean_buffer_fill);
+    if (book_mode_) {
+      out << ',' << util::format_double(row.book_depth) << ','
+          << util::format_double(row.book_spread) << ','
+          << util::format_double(row.clearing_price) << ','
+          << util::format_double(row.fill_ratio);
+    }
+    out << '\n';
   }
   return out.str();
 }

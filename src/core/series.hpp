@@ -32,6 +32,12 @@ struct RoundSample {
   double credit_supply = 0.0;     ///< total credits held by alive peers
   double mean_balance = 0.0;      ///< credit_supply / alive_peers
   double mean_buffer_fill = 0.0;  ///< playback-continuity proxy
+  // Order-book columns — sampled (and emitted) only when the protocol runs
+  // with market_mode=kOrderBook; the default-mode CSV header is pinned.
+  double book_depth = 0.0;        ///< resting asks at end of round
+  double book_spread = 0.0;       ///< max_ask - min_ask
+  double clearing_price = 0.0;    ///< volume/fills of the round
+  double fill_ratio = 0.0;        ///< fills / posted quantity of the round
 };
 
 /// Collects RoundSamples from a live protocol; attach via sample() from
@@ -53,11 +59,13 @@ class RoundSeriesSampler {
 
   /// The rows as CSV (shortest round-trip doubles, one header line):
   /// round,t,alive_peers,gini_balances,credit_supply,mean_balance,
-  /// mean_buffer_fill
+  /// mean_buffer_fill — plus ,book_depth,book_spread,clearing_price,
+  /// fill_ratio when the protocol runs in order-book mode.
   [[nodiscard]] std::string csv() const;
 
  private:
   const p2p::StreamingProtocol& protocol_;
+  bool book_mode_ = false;
   std::size_t every_rounds_;
   std::vector<RoundSample> rows_;
   // Scratch for the allocation-free snapshot flavors.

@@ -108,6 +108,21 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
     CF_EXPECTS(cfg_.injection.interval_seconds > 0.0);
     CF_EXPECTS(cfg_.injection.credits_per_peer > 0);
   }
+  if (cfg_.market_mode == ProtocolConfig::MarketMode::kOrderBook) {
+    CF_EXPECTS(cfg_.book.min_price >= 1);
+    CF_EXPECTS(cfg_.book.min_price <= cfg_.book.max_price);
+    CF_EXPECTS(cfg_.book.base_price >= cfg_.book.min_price);
+    CF_EXPECTS(cfg_.book.base_price <= cfg_.book.max_price);
+    CF_EXPECTS(cfg_.book.reprice_rounds >= 1);
+    CF_EXPECTS(cfg_.book.seller_fraction >= 0.0);
+    CF_EXPECTS(cfg_.book.seller_fraction <= 1.0);
+    CF_EXPECTS(cfg_.book.ask_markup >= 0.0);
+    book_ = std::make_unique<market::OrderBook>(cfg_.max_peers,
+                                                cfg_.book.max_price);
+    book_price_.assign(cfg_.max_peers, cfg_.book.base_price);
+    book_posted_.assign(cfg_.max_peers, 0);
+    book_sold_.assign(cfg_.max_peers, 0);
+  }
   upload_budget_.assign(cfg_.max_peers, 0.0);
   tx_count_ = metrics_.counter_cell("market.transactions");
   tx_volume_ = metrics_.counter_cell("market.volume");
@@ -123,6 +138,15 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   phase_one_word_ct_ = metrics_.counter_cell("purchase.phase_one_word");
   phase_two_word_ct_ = metrics_.counter_cell("purchase.phase_two_word");
   phase_generic_ct_ = metrics_.counter_cell("purchase.phase_generic");
+  overlay_edges_dropped_ = metrics_.counter_cell("overlay.edges_dropped");
+  book_asks_posted_ = metrics_.counter_cell("book.asks_posted");
+  book_posted_qty_ = metrics_.counter_cell("book.posted_qty");
+  book_fills_ = metrics_.counter_cell("book.fills");
+  book_volume_ = metrics_.counter_cell("book.volume");
+  book_asks_expired_ = metrics_.counter_cell("book.asks_expired");
+  book_bids_posted_ = metrics_.counter_cell("book.bids_posted");
+  book_bids_matched_ = metrics_.counter_cell("book.bids_matched");
+  book_bids_expired_ = metrics_.counter_cell("book.bids_expired");
   candidates_hist_ = metrics_.histogram_cell("purchase.candidates");
   queue_depth_hist_ = metrics_.histogram_cell("sim.queue_depth");
   buyer_latency_hist_ = metrics_.histogram_cell("purchase.buyer_us");
@@ -192,6 +216,15 @@ void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
     }
   }
   ledger_.mint(id, cfg_.initial_credits);
+  if (book_ != nullptr) {
+    // Recycled-slot hygiene: the previous occupant's market state (resting
+    // orders, learned price) must not leak into the arrival.
+    (void)book_->cancel_ask(id);
+    (void)book_->cancel_bid(id);
+    book_price_[id] = cfg_.book.base_price;
+    book_posted_[id] = 0;
+    book_sold_[id] = 0;
+  }
   (void)initial;
 }
 
@@ -288,6 +321,11 @@ void StreamingProtocol::handle_departure(PeerId id, double now) {
   overlay_.leave(id);
   owner_index_.on_clear(id);
   peers_.set_alive(id, false);
+  if (book_ != nullptr) {
+    // Seller churn expires its resting ask immediately — no ghost supply.
+    if (book_->cancel_ask(id)) ++*book_asks_expired_;
+    if (book_->cancel_bid(id)) ++*book_bids_expired_;
+  }
 }
 
 void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
@@ -344,6 +382,18 @@ void StreamingProtocol::run_round(double now) {
     owner_index_.on_advance(id, old_base, window_base);
     upload_budget_[id] = peers_.upload_capacity(id) * cfg_.round_seconds;
   }
+  // Mirror the overlay's edge-drop count into the registry (pure readout;
+  // one store per round) so pool exhaustion shows up in telemetry.
+  *overlay_edges_dropped_ = overlay_.edges_dropped();
+
+  // 1b. Order-book market: sellers post this round's asks before anyone
+  // buys (quantity = fresh upload budget, price per the ask policy).
+  if (book_ != nullptr) {
+    book_round_fills_base_ = *book_fills_;
+    book_round_volume_base_ = *book_volume_;
+    book_round_posted_base_ = *book_posted_qty_;
+    book_post_asks();
+  }
 
   // 2. Source emits and seeds fresh chunks.
   {
@@ -382,7 +432,144 @@ void StreamingProtocol::run_round(double now) {
                               .count();
   }
 
+  // Book readouts for the series sampler: state at round end, flow over
+  // this round (clearing price = volume-weighted mean transacted price).
+  if (book_ != nullptr) {
+    const std::uint64_t fills = *book_fills_ - book_round_fills_base_;
+    const std::uint64_t volume = *book_volume_ - book_round_volume_base_;
+    const std::uint64_t posted = *book_posted_qty_ - book_round_posted_base_;
+    book_stats_.depth = static_cast<double>(book_->depth());
+    book_stats_.spread = static_cast<double>(book_->spread());
+    book_stats_.clearing_price =
+        fills > 0 ? static_cast<double>(volume) / static_cast<double>(fills)
+                  : 0.0;
+    book_stats_.fill_ratio =
+        posted > 0 ? static_cast<double>(fills) / static_cast<double>(posted)
+                   : 0.0;
+  }
+
   if (round_hook_) round_hook_(rounds_, now);
+}
+
+void StreamingProtocol::book_post_asks() {
+  const util::TraceSpan span("book.post", "phase");
+  const auto& bc = cfg_.book;
+  const bool adaptive =
+      bc.ask_pricing == ProtocolConfig::OrderBookConfig::AskPricing::kAdaptive;
+  // Adaptive tâtonnement thresholds: an ask that mostly sold was priced
+  // under the market (raise), one that barely sold was priced over it
+  // (cut). The band between them is the dead zone that lets prices settle.
+  constexpr double kFillHi = 0.6;
+  constexpr double kFillLo = 0.1;
+  const bool reprice_now =
+      adaptive && rounds_ % bc.reprice_rounds == 0;
+  econ::Credits fixed_price = bc.base_price;
+  if (!adaptive) {
+    const auto marked = static_cast<econ::Credits>(std::llround(
+        static_cast<double>(bc.base_price) * (1.0 + bc.ask_markup)));
+    fixed_price = std::clamp(marked, bc.min_price, bc.max_price);
+  }
+  for (const PeerId id : overlay_.active_peers()) {
+    if (!is_book_seller(id)) continue;
+    const auto qty = static_cast<std::uint32_t>(upload_budget_[id]);
+    if (qty == 0) {
+      // No capacity to offer this round: an ask left resting would be
+      // ghost supply, so it expires (drain expiry).
+      if (book_->cancel_ask(id)) ++*book_asks_expired_;
+      continue;
+    }
+    econ::Credits price = fixed_price;
+    if (adaptive) {
+      if (reprice_now && book_posted_[id] > 0) {
+        const double fill = static_cast<double>(book_sold_[id]) /
+                            static_cast<double>(book_posted_[id]);
+        if (fill >= kFillHi && book_price_[id] < bc.max_price) {
+          ++book_price_[id];
+        } else if (fill <= kFillLo && book_price_[id] > bc.min_price) {
+          --book_price_[id];
+        }
+        book_posted_[id] = 0;
+        book_sold_[id] = 0;
+      }
+      price = book_price_[id];
+      book_posted_[id] += qty;
+    }
+    book_->post_ask(id, price, qty);
+    ++*book_asks_posted_;
+    *book_posted_qty_ += qty;
+  }
+}
+
+bool StreamingProtocol::is_book_seller(PeerId id) const {
+  if (cfg_.book.seller_fraction >= 1.0) return true;
+  if (cfg_.book.seller_fraction <= 0.0) return false;
+  // SplitMix64-style finalizer over the id — no RNG draw, so the seller
+  // set is a pure function of the slot id and stays fixed under churn.
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(id) + 1) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<double>(h & 0xFFFFFF) <
+         cfg_.book.seller_fraction * 16777216.0;
+}
+
+bool StreamingProtocol::book_cross(PeerId buyer, ChunkId chunk,
+                                   std::span<const PeerId> neighbors,
+                                   PeerId& seller_out,
+                                   econ::Credits& price_out) {
+  const auto strategy = cfg_.book.cross;
+  using Cross = ProtocolConfig::OrderBookConfig::CrossStrategy;
+  if (strategy == Cross::kFillWeighted) {
+    // Demand spread across the book's depth: candidate asks weighted by
+    // their remaining quantity, so deep levels absorb proportionally more
+    // flow than a best-ask stampede would send them.
+    seller_ids_.clear();
+    seller_weights_.clear();
+    for (const PeerId nbr : neighbors) {
+      if (!peers_.alive(nbr) || upload_budget_[nbr] < 1.0) continue;
+      if (!book_->has_ask(nbr) || !peers_.buffer(nbr).has(chunk)) continue;
+      seller_ids_.push_back(nbr);
+      seller_weights_.push_back(
+          static_cast<double>(book_->ask_quantity(nbr)));
+    }
+    if (seller_ids_.empty()) return false;
+    const PeerId pick = seller_ids_[rng_.discrete(seller_weights_)];
+    seller_out = pick;
+    price_out = book_->ask_price(pick);
+    return true;
+  }
+  // kBestAsk / kLimit: price-time priority over the candidate set — the
+  // naive min-scan on (price, seq) selects exactly the ask a walk of the
+  // book in level order (filtered to candidates) would reach first; the
+  // order-book tests pin that equivalence.
+  PeerId best = 0;
+  econ::Credits best_price = 0;
+  std::uint64_t best_seq = 0;
+  bool have = false;
+  for (const PeerId nbr : neighbors) {
+    if (!peers_.alive(nbr) || upload_budget_[nbr] < 1.0) continue;
+    if (!book_->has_ask(nbr) || !peers_.buffer(nbr).has(chunk)) continue;
+    const econ::Credits p = book_->ask_price(nbr);
+    const std::uint64_t s = book_->ask_seq(nbr);
+    if (!have || p < best_price || (p == best_price && s < best_seq)) {
+      have = true;
+      best = nbr;
+      best_price = p;
+      best_seq = s;
+    }
+  }
+  if (!have) return false;
+  if (strategy == Cross::kLimit && best_price > cfg_.book.limit_price) {
+    // The market is above the buyer's limit: rest a bid (standing intent,
+    // re-posting refreshes it) and wait for asks to come down.
+    if (!book_->has_bid(buyer)) ++*book_bids_posted_;
+    book_->post_bid(buyer, cfg_.book.limit_price);
+    return false;
+  }
+  seller_out = best;
+  price_out = best_price;
+  return true;
 }
 
 void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
@@ -430,7 +617,8 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
   // (only this buyer gains chunks, and churn events never interleave with a
   // round), and upload budgets only *decrease*, which the re-check in the
   // loop below mirrors exactly.
-  if (cfg_.use_owner_index) {
+  const bool book_mode = book_ != nullptr;
+  if (cfg_.use_owner_index && !book_mode) {
     build_purchase_candidates(neighbors, missing, buyer_buffer.base());
   }
 
@@ -450,7 +638,13 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
         cfg_.seller_choice == ProtocolConfig::SellerChoice::kFillWeighted;
     PeerId seller_id = 0;
     bool have_seller = false;
-    if (cfg_.use_owner_index && phase_single_word_) {
+    econ::Credits book_price = 0;
+    if (book_mode) {
+      // Order-book market: cross the resting asks instead of picking a
+      // seller directly; the transacted price is the ask's, resolved here.
+      have_seller = book_cross(buyer_id, chunk, neighbors, seller_id,
+                               book_price);
+    } else if (cfg_.use_owner_index && phase_single_word_) {
       // Single-word phase (the dominant configuration): the whole
       // candidate set is one word, so count/pick/walk need no word loop.
       // Identical candidate sets and picks as the generic path below.
@@ -648,7 +842,8 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
       ++peers_.failed_availability(buyer_id);
       continue;
     }
-    const econ::Credits price = pricing_->price(seller_id, chunk);
+    const econ::Credits price =
+        book_mode ? book_price : pricing_->price(seller_id, chunk);
 
     if (static_cast<double>(price) > budget) {
       ++peers_.failed_affordability(buyer_id);
@@ -665,7 +860,22 @@ void StreamingProtocol::peer_purchase_phase(PeerId buyer_id, double now) {
     CF_ENSURES_MSG(fresh, "purchased a chunk already held");
     owner_index_.on_gain(buyer_id, chunk);
     upload_budget_[seller_id] -= 1.0;
-    if (cfg_.use_owner_index && upload_budget_[seller_id] < 1.0) {
+    if (book_mode) {
+      // Partial fill: one unit off the resting ask (it expires in place
+      // when it drains). A seller whose upload budget ran out mid-round
+      // loses its whole ask — no capacity left to back it.
+      ++*book_fills_;
+      *book_volume_ += price;
+      ++book_sold_[seller_id];
+      (void)book_->fill_one(seller_id);
+      if (upload_budget_[seller_id] < 1.0 && book_->cancel_ask(seller_id)) {
+        ++*book_asks_expired_;
+      }
+      if (book_->has_bid(buyer_id) && price <= book_->bid_limit(buyer_id)) {
+        book_->on_bid_matched(buyer_id);
+        ++*book_bids_matched_;
+      }
+    } else if (cfg_.use_owner_index && upload_budget_[seller_id] < 1.0) {
       remove_drained_seller(seller_id, missing);
     }
     budget -= static_cast<double>(price);

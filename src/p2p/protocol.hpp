@@ -26,6 +26,7 @@
 
 #include "econ/pricing.hpp"
 #include "econ/taxation.hpp"
+#include "market/order_book.hpp"
 #include "p2p/ledger.hpp"
 #include "p2p/overlay.hpp"
 #include "p2p/owner_index.hpp"
@@ -123,6 +124,56 @@ struct ProtocolConfig {
   /// kFillWeighted at construction time.
   bool weight_sellers_by_fill = false;
 
+  /// How purchases clear:
+  ///  * kDirect — the paper's market: the buyer picks a seller per
+  ///    seller_choice and pays the pricing scheme's posted price (default;
+  ///    byte-identical to every pre-order-book build).
+  ///  * kOrderBook — the price-mediated regime (Ramaswamy et al.): sellers
+  ///    post asks into a price-time-priority book each round and buyers
+  ///    cross it; the transacted price is the resting ask's, not the
+  ///    pricing scheme's.
+  enum class MarketMode { kDirect, kOrderBook };
+  MarketMode market_mode = MarketMode::kDirect;
+
+  /// Order-book market knobs (only read when market_mode == kOrderBook).
+  struct OrderBookConfig {
+    /// How sellers price their asks.
+    ///  * kFixedMarkup — every ask at round(base_price * (1 + ask_markup)).
+    ///  * kAdaptive — per-seller tâtonnement: every reprice_rounds rounds a
+    ///    seller raises its price one credit when its posted quantity
+    ///    mostly sold (fill ratio >= fill_hi) and cuts one credit when
+    ///    almost nothing sold (<= fill_lo). Supply and demand then walk
+    ///    each market toward its clearing price.
+    enum class AskPricing { kFixedMarkup, kAdaptive };
+    AskPricing ask_pricing = AskPricing::kFixedMarkup;
+    double ask_markup = 0.0;        ///< fixed-markup premium over base_price
+    Credits base_price = 1;         ///< fixed-markup base / adaptive start
+    Credits min_price = 1;          ///< adaptive floor
+    Credits max_price = 16;         ///< book price-level capacity + cap
+    std::size_t reprice_rounds = 8; ///< adaptive repricing cadence
+
+    /// How buyers cross the book (per wanted chunk, over the neighbor
+    /// sellers whose asks cover it):
+    ///  * kBestAsk — price-time priority: cheapest ask, earliest post wins
+    ///    ties.
+    ///  * kFillWeighted — spread demand across price levels, weighting
+    ///    each candidate ask by its remaining quantity (deep asks absorb
+    ///    proportionally more of the flow).
+    ///  * kLimit — best ask if it is at or under limit_price; otherwise
+    ///    the buyer posts a resting limit bid and waits for the market to
+    ///    come down to it.
+    enum class CrossStrategy { kBestAsk, kFillWeighted, kLimit };
+    CrossStrategy cross = CrossStrategy::kBestAsk;
+    Credits limit_price = 2;        ///< kLimit threshold
+
+    /// Fraction of peers that participate as ask-posting sellers (chosen
+    /// by a deterministic per-id hash, so the set is stable under churn).
+    /// Everyone still buys; supply scales with this — the clearing-price
+    /// vs. seeder-fraction axis.
+    double seller_fraction = 1.0;
+  };
+  OrderBookConfig book;
+
   /// Credit injection (the "inflation" counter-action the paper's
   /// introduction warns about): every `interval_seconds`, the system mints
   /// `credits_per_peer` fresh credits to every alive peer. Keeps poor peers
@@ -182,6 +233,22 @@ class StreamingProtocol {
   [[nodiscard]] const OwnerIndex& owner_index() const { return owner_index_; }
   [[nodiscard]] TransactionTrace& trace() { return trace_; }
   [[nodiscard]] const TransactionTrace& trace() const { return trace_; }
+  /// The live order book; nullptr unless market_mode == kOrderBook.
+  [[nodiscard]] const market::OrderBook* order_book() const {
+    return book_.get();
+  }
+  /// Readouts of the most recent round's book state (depth/spread at round
+  /// end; clearing price and fill ratio over that round's fills). All zero
+  /// outside kOrderBook mode or before the first round.
+  struct BookRoundStats {
+    double depth = 0.0;           ///< resting asks at round end
+    double spread = 0.0;          ///< max_ask - min_ask at round end
+    double clearing_price = 0.0;  ///< volume/fills of the round (0: no fill)
+    double fill_ratio = 0.0;      ///< round fills / round posted quantity
+  };
+  [[nodiscard]] const BookRoundStats& book_round_stats() const {
+    return book_stats_;
+  }
   /// Mutable for gauge/series writers. Safe to clear() while the protocol
   /// is live: the registry zeroes counter cells in place, so the hot
   /// loop's cached cell pointers stay valid (counters restart from zero).
@@ -271,6 +338,20 @@ class StreamingProtocol {
   /// from every wanted slot so later chunks in this phase skip it (the
   /// indexed equivalent of the naive scan's per-chunk budget check).
   void remove_drained_seller(PeerId seller, std::span<const ChunkId> wanted);
+  /// Order-book round opening: every participating seller posts (or
+  /// replaces) its ask — quantity from this round's upload budget, price
+  /// from the ask-pricing policy (adaptive repricing on its cadence).
+  void book_post_asks();
+  /// Whether `id` participates as an ask-posting seller (deterministic
+  /// per-id hash against book.seller_fraction — stable under churn).
+  [[nodiscard]] bool is_book_seller(PeerId id) const;
+  /// Cross the book for one wanted chunk: among `neighbors` whose resting
+  /// asks cover `chunk` (owner + upload budget + live ask), pick per the
+  /// crossing strategy. Returns false when no ask is crossable (for kLimit
+  /// that includes best-ask-above-limit, which posts a resting bid).
+  bool book_cross(PeerId buyer, ChunkId chunk,
+                  std::span<const PeerId> neighbors, PeerId& seller_out,
+                  econ::Credits& price_out);
   /// Availability-uniform choice over `num_candidates` in closed form.
   /// Rng::discrete over k all-ones weights draws one uniform() and returns
   /// the first i with u*k - (i+1) <= 0, i.e. ceil(u*k) - 1 (0 when
@@ -295,6 +376,18 @@ class StreamingProtocol {
   econ::TaxationEngine tax_;
   TransactionTrace trace_;
   sim::MetricsRegistry metrics_;
+
+  // Order-book market state (allocated only in kOrderBook mode, so kDirect
+  // markets carry zero book overhead).
+  std::unique_ptr<market::OrderBook> book_;
+  std::vector<econ::Credits> book_price_;   ///< per-seller adaptive price
+  std::vector<std::uint32_t> book_posted_;  ///< qty posted since reprice
+  std::vector<std::uint32_t> book_sold_;    ///< qty sold since reprice
+  BookRoundStats book_stats_;
+  // Round-start counter snapshots for the per-round stats deltas.
+  std::uint64_t book_round_fills_base_ = 0;
+  std::uint64_t book_round_volume_base_ = 0;
+  std::uint64_t book_round_posted_base_ = 0;
 
   // Per-round scratch (kept across rounds to avoid reallocation).
   std::vector<double> upload_budget_;   ///< chunks a peer may still serve
@@ -346,6 +439,19 @@ class StreamingProtocol {
   std::uint64_t* phase_one_word_ct_ = nullptr;
   std::uint64_t* phase_two_word_ct_ = nullptr;
   std::uint64_t* phase_generic_ct_ = nullptr;
+  // Pool-exhaustion readout: the overlay's edge-drop count mirrored into
+  // the registry each round, so capacity pressure lands in run telemetry
+  // instead of only a warn-once stderr line.
+  std::uint64_t* overlay_edges_dropped_ = nullptr;
+  // Order-book accounting (incremented only in kOrderBook mode).
+  std::uint64_t* book_asks_posted_ = nullptr;
+  std::uint64_t* book_posted_qty_ = nullptr;
+  std::uint64_t* book_fills_ = nullptr;
+  std::uint64_t* book_volume_ = nullptr;
+  std::uint64_t* book_asks_expired_ = nullptr;
+  std::uint64_t* book_bids_posted_ = nullptr;
+  std::uint64_t* book_bids_matched_ = nullptr;
+  std::uint64_t* book_bids_expired_ = nullptr;
 
   // Histogram cells (stable for the registry lifetime, allocation-free
   // add): budgeted-candidate-set sizes per buyer phase, event-queue depth

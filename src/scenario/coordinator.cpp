@@ -372,6 +372,55 @@ std::vector<RunResult> Coordinator::run() {
     return out.str();
   };
 
+  /// The /metrics twin of /status: the same snapshot rendered in
+  /// Prometheus text exposition format (one scrape = one poll-loop pass,
+  /// same zero-lock state reads). Gauges, not counters, from Prometheus's
+  /// point of view — a restarted coordinator restarts the sweep.
+  auto metrics_text = [&]() -> std::string {
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - im.started_at).count();
+    std::ostringstream out;
+    auto gauge = [&out](std::string_view name, std::string_view help,
+                        auto value) {
+      out << "# HELP creditflow_sweep_" << name << ' ' << help << '\n'
+          << "# TYPE creditflow_sweep_" << name << " gauge\n"
+          << "creditflow_sweep_" << name << ' ' << value << '\n';
+    };
+    gauge("plan_runs", "Total runs in the sweep plan.", im.plan.size());
+    gauge("completed_runs", "Runs completed (executed or cache hits).",
+          im.completed);
+    gauge("pending_runs", "Runs queued and not yet leased.",
+          im.pending.size());
+    gauge("leased_runs", "Runs currently leased to workers.",
+          im.leases.size());
+    gauge("executed_runs", "Runs freshly executed by workers.", executed_);
+    gauge("cache_hits", "Runs answered from the run store.", cache_hits_);
+    gauge("requeued_runs", "Leases revoked after worker silence.",
+          requeued_);
+    gauge("duplicate_results", "Results delivered for already-done runs.",
+          duplicates_);
+    gauge("workers_seen", "Distinct workers that ever joined.",
+          workers_seen_);
+    gauge("done", "1 when every planned run is complete.",
+          im.done ? 1 : 0);
+    gauge("elapsed_seconds", "Wall time since the coordinator started.",
+          util::format_double(elapsed));
+    gauge("lease_wall_ms_p50", "Median lease wall time in milliseconds.",
+          util::format_double(im.lease_wall_ms.approx_quantile(0.5)));
+    gauge("lease_wall_ms_p90", "90th-percentile lease wall time (ms).",
+          util::format_double(im.lease_wall_ms.approx_quantile(0.9)));
+    out << "# HELP creditflow_sweep_worker_completed_runs Runs completed "
+           "per connected worker.\n"
+           "# TYPE creditflow_sweep_worker_completed_runs gauge\n";
+    for (const auto& [fd, conn] : im.conns) {
+      if (!conn.hello) continue;
+      out << "creditflow_sweep_worker_completed_runs{fd=\"" << fd << "\"} "
+          << conn.runs_completed << '\n';
+    }
+    return out.str();
+  };
+
   /// Answer one HTTP request on a status connection as soon as its request
   /// line is complete (headers are ignored; one request per connection).
   /// false → close the connection.
@@ -388,16 +437,22 @@ std::vector<RunResult> Coordinator::run() {
     request >> method >> path;
     std::string status_line;
     std::string body;
+    std::string content_type = "application/json";
     if (method == "GET" &&
         (path == "/status" || path.rfind("/status?", 0) == 0)) {
       status_line = "HTTP/1.0 200 OK";
       body = status_json();
+    } else if (method == "GET" &&
+               (path == "/metrics" || path.rfind("/metrics?", 0) == 0)) {
+      status_line = "HTTP/1.0 200 OK";
+      body = metrics_text();
+      content_type = "text/plain; version=0.0.4";
     } else {
       status_line = "HTTP/1.0 404 Not Found";
-      body = "{\"error\":\"unknown path; try GET /status\"}";
+      body = "{\"error\":\"unknown path; try GET /status or /metrics\"}";
     }
     const std::string response =
-        status_line + "\r\nContent-Type: application/json\r\n" +
+        status_line + "\r\nContent-Type: " + content_type + "\r\n" +
         "Content-Length: " + std::to_string(body.size()) +
         "\r\nConnection: close\r\n\r\n" + body;
     (void)sc.socket.send_all(response);

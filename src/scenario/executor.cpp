@@ -106,6 +106,32 @@ std::vector<std::pair<std::string, double>> standard_metrics(
                      ? static_cast<double>(cfg.protocol.initial_peers)
                      : report.alive_peers.last_value());
   m.emplace_back("ledger_conserved", report.ledger_conserved ? 1.0 : 0.0);
+
+  // Order-book readouts — emitted only in book mode so the default-mode
+  // metric vector (and every golden aggregate derived from it) is
+  // byte-identical with the book compiled in.
+  if (cfg.protocol.market_mode ==
+      p2p::ProtocolConfig::MarketMode::kOrderBook) {
+    m.emplace_back("book_fills", static_cast<double>(report.book_fills));
+    // Run-level clearing price: credits crossed per unit filled.
+    m.emplace_back("clearing_price",
+                   report.book_fills > 0
+                       ? static_cast<double>(report.book_volume) /
+                             static_cast<double>(report.book_fills)
+                       : 0.0);
+    // Fill ratio: fraction of offered units that found a buyer.
+    m.emplace_back("fill_ratio",
+                   report.book_posted_qty > 0
+                       ? static_cast<double>(report.book_fills) /
+                             static_cast<double>(report.book_posted_qty)
+                       : 0.0);
+    m.emplace_back("book_asks_expired",
+                   static_cast<double>(report.book_asks_expired));
+    m.emplace_back("book_bids_posted",
+                   static_cast<double>(report.book_bids_posted));
+    m.emplace_back("book_bids_matched",
+                   static_cast<double>(report.book_bids_matched));
+  }
   return m;
 }
 
@@ -133,6 +159,10 @@ void execute_spec_into(const ScenarioSpec& spec, RunResult& result,
     result.telemetry.tax_phase_seconds =
         market.protocol().tax_phase_seconds();
     result.telemetry.rounds = result.report.rounds;
+    result.telemetry.overlay_edges_dropped =
+        result.report.overlay_edges_dropped;
+    result.telemetry.churn_arrivals_dropped =
+        result.report.churn_arrivals_dropped;
     if (!keep_report) result.report = core::MarketReport{};
   } catch (const std::exception& e) {
     result.error = e.what();

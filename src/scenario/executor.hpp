@@ -45,6 +45,13 @@ struct RunTelemetry {
   /// parallelism read it as "the sweep grew while this run was in flight".
   /// 0 on platforms without getrusage.
   std::uint64_t peak_rss_bytes = 0;
+  /// PR-7 fixed-pool exhaustion events, surfaced from the warn-once
+  /// stderr lines into the run record: preferential-attachment edges the
+  /// overlay dropped and arrivals refused for lack of a peer slot. Always
+  /// 0 on healthy runs; nonzero flags an under-provisioned capacity.
+  /// Absent from records written before these existed (read back as 0).
+  std::uint64_t overlay_edges_dropped = 0;
+  std::uint64_t churn_arrivals_dropped = 0;
   bool from_cache = false;  ///< true when the run store answered instead
 };
 

@@ -258,6 +258,79 @@ const std::vector<ParamDesc>& table() {
          c.protocol.injection.credits_per_peer =
              static_cast<p2p::Credits>(v);
        }},
+
+      // Order-book market (PR 8). market_mode=1 routes purchases through
+      // the src/market/ book; 0 keeps the paper's direct seller pick.
+      {"market_mode", "0=direct seller pick, 1=order book",
+       [](const MarketConfig& c) {
+         return as_double(static_cast<int>(c.protocol.market_mode));
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.market_mode =
+             static_cast<p2p::ProtocolConfig::MarketMode>(
+                 static_cast<int>(v));
+       }},
+      {"book.pricing", "0=fixed markup, 1=adaptive (tatonnement)",
+       [](const MarketConfig& c) {
+         return as_double(static_cast<int>(c.protocol.book.ask_pricing));
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.ask_pricing =
+             static_cast<p2p::ProtocolConfig::OrderBookConfig::AskPricing>(
+                 static_cast<int>(v));
+       }},
+      {"book.markup", "fixed-markup fraction over base_price",
+       [](const MarketConfig& c) { return c.protocol.book.ask_markup; },
+       [](MarketConfig& c, double v) { c.protocol.book.ask_markup = v; }},
+      {"book.base_price", "initial/reference ask price in credits",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.book.base_price);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.base_price = static_cast<p2p::Credits>(v);
+       }},
+      {"book.min_price", "ask price floor",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.book.min_price);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.min_price = static_cast<p2p::Credits>(v);
+       }},
+      {"book.max_price", "ask price ceiling (book level count)",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.book.max_price);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.max_price = static_cast<p2p::Credits>(v);
+       }},
+      {"book.reprice_rounds", "adaptive repricing cadence in rounds",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.book.reprice_rounds);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.reprice_rounds = static_cast<std::size_t>(v);
+       }},
+      {"book.cross", "0=best-ask, 1=fill-weighted, 2=limit",
+       [](const MarketConfig& c) {
+         return as_double(static_cast<int>(c.protocol.book.cross));
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.cross =
+             static_cast<p2p::ProtocolConfig::OrderBookConfig::CrossStrategy>(
+                 static_cast<int>(v));
+       }},
+      {"book.limit_price", "resting-bid limit for book.cross=2",
+       [](const MarketConfig& c) {
+         return as_double(c.protocol.book.limit_price);
+       },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.limit_price = static_cast<p2p::Credits>(v);
+       }},
+      {"book.seller_fraction", "fraction of peers that post asks",
+       [](const MarketConfig& c) { return c.protocol.book.seller_fraction; },
+       [](MarketConfig& c, double v) {
+         c.protocol.book.seller_fraction = v;
+       }},
   };
   return kTable;
 }

@@ -164,6 +164,51 @@ ScenarioRegistry make_builtin() {
     spec.config.protocol.injection.credits_per_peer = 1;
     reg.add(std::move(spec));
   }
+  {
+    // obk01: Ramaswamy et al.'s supply curve — adaptive (tatonnement)
+    // repricing discovers a clearing price that falls as the seller pool
+    // grows. Sweep book.seller_fraction over e.g. {0.2, 0.4, 0.6, 0.8,
+    // 1.0} and read the clearing_price metric: scarce supply clears high,
+    // abundant supply competes the price down to the floor.
+    auto spec = paper_baseline(
+        "obk01_clearing",
+        "Order book: clearing price vs seeder fraction under adaptive ask "
+        "repricing; sweep book.seller_fraction.",
+        400, 200, 8000.0);
+    spec.config.protocol.market_mode =
+        p2p::ProtocolConfig::MarketMode::kOrderBook;
+    // Demand light enough that a small seller pool can still serve the
+    // room: the price signal (scarce supply clears high) then dominates
+    // the availability signal (scarce supply starves replication, which
+    // would drag per-seller fills — and thus adaptive prices — *down*).
+    spec.config.protocol.stream_rate = 0.5;
+    spec.config.protocol.book.ask_pricing =
+        p2p::ProtocolConfig::OrderBookConfig::AskPricing::kAdaptive;
+    spec.config.protocol.book.base_price = 2;
+    spec.config.protocol.book.max_price = 16;
+    spec.config.protocol.book.reprice_rounds = 8;
+    spec.config.protocol.book.seller_fraction = 0.5;
+    reg.add(std::move(spec));
+  }
+  {
+    // obk02: sustainability vs ask markup — fixed-markup sellers price a
+    // constant fraction over base; past the buyers' willingness the market
+    // starves (fill_ratio and mean_buffer_fill collapse, bankrupt_fraction
+    // climbs). Sweep book.markup over e.g. {0, 0.5, 1, 2, 4}.
+    auto spec = paper_asymmetric(
+        "obk02_markup",
+        "Order book: sustainability vs fixed ask markup; sweep "
+        "book.markup.",
+        400, 100, 8000.0);
+    spec.config.protocol.market_mode =
+        p2p::ProtocolConfig::MarketMode::kOrderBook;
+    spec.config.protocol.book.ask_pricing =
+        p2p::ProtocolConfig::OrderBookConfig::AskPricing::kFixedMarkup;
+    spec.config.protocol.book.ask_markup = 1.0;
+    spec.config.protocol.book.base_price = 1;
+    spec.config.protocol.book.max_price = 16;
+    reg.add(std::move(spec));
+  }
 
   return reg;
 }

@@ -180,6 +180,8 @@ std::string serialize_run_record(const RunKey& key, const RunResult& r) {
       << util::format_double(r.telemetry.tax_phase_seconds)
       << ",\"rounds\":" << r.telemetry.rounds
       << ",\"peak_rss_bytes\":" << r.telemetry.peak_rss_bytes
+      << ",\"overlay_edges_dropped\":" << r.telemetry.overlay_edges_dropped
+      << ",\"churn_arrivals_dropped\":" << r.telemetry.churn_arrivals_dropped
       << "},\"error\":\"" << json_escape(r.error) << "\"}";
   return out.str();
 }
@@ -234,6 +236,11 @@ RunRecord parse_run_record(const std::string& line) {
           // Absent from records written before peak-RSS telemetry existed;
           // such runs read back with the field's zero default.
           record.result.telemetry.peak_rss_bytes = p.parse_u64();
+        } else if (t_field == "overlay_edges_dropped") {
+          // Pool-exhaustion counters (absent pre-PR-8, read back as 0).
+          record.result.telemetry.overlay_edges_dropped = p.parse_u64();
+        } else if (t_field == "churn_arrivals_dropped") {
+          record.result.telemetry.churn_arrivals_dropped = p.parse_u64();
         } else {
           CF_EXPECTS_MSG(false, "run record: unknown telemetry field " +
                                     t_field);

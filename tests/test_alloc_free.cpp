@@ -151,6 +151,25 @@ TEST(AllocationFreeCore, OverlayJoinLeaveBurstsDoNotAllocate) {
       << "edge pool too small for the burst";
 }
 
+TEST(AllocationFreeCore, OrderBookSteadyStateDoesNotAllocate) {
+  // The PR-8 acceptance property: with purchases routed through the order
+  // book (posting, adaptive repricing, crossing, partial fills, drain
+  // expiry every round), the warmed round loop still never touches the
+  // heap — the book is pooled cells and intrusive lists, constructed once.
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 300;
+  cfg.max_peers = 300;
+  cfg.initial_credits = 100;
+  cfg.seed = 15;
+  cfg.market_mode = p2p::ProtocolConfig::MarketMode::kOrderBook;
+  cfg.book.ask_pricing =
+      p2p::ProtocolConfig::OrderBookConfig::AskPricing::kAdaptive;
+  cfg.book.base_price = 2;
+  cfg.book.seller_fraction = 0.7;
+  EXPECT_EQ(allocations_during_rounds(cfg, 100.0, 50.0), 0u)
+      << "the order-book round loop allocated";
+}
+
 TEST(AllocationFreeCore, TracingEnabledSteadyStateDoesNotAllocate) {
   // With the span tracer live, steady-state rounds must still be
   // allocation-free: spans write into pre-reserved thread-local rings.

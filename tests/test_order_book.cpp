@@ -1,0 +1,253 @@
+// Tests for market/order_book and its protocol wiring: price-time
+// priority under interleaved insert/cancel, partial-fill conservation,
+// ask expiry on seller death, and a book-vs-naive-scan equivalence
+// oracle. The book is the PR-8 purchase path; everything here pins the
+// invariants the crossing strategies rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "market/order_book.hpp"
+#include "p2p/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace creditflow::market {
+namespace {
+
+std::vector<AskView> walk(const OrderBook& book) {
+  std::vector<AskView> out;
+  book.for_each_ask([&](const AskView& ask) { out.push_back(ask); });
+  return out;
+}
+
+/// The naive reference order: every resting ask sorted by (price, seq).
+/// Price-time priority is exactly "the walk equals this sort".
+std::vector<AskView> naive_order(std::vector<AskView> asks) {
+  std::sort(asks.begin(), asks.end(), [](const AskView& a, const AskView& b) {
+    return a.price != b.price ? a.price < b.price : a.seq < b.seq;
+  });
+  return asks;
+}
+
+void expect_same_order(const std::vector<AskView>& got,
+                       const std::vector<AskView>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].seller, want[i].seller) << "position " << i;
+    EXPECT_EQ(got[i].price, want[i].price) << "position " << i;
+    EXPECT_EQ(got[i].quantity, want[i].quantity) << "position " << i;
+  }
+}
+
+TEST(OrderBook, PriceTimePriorityUnderInterleavedInsertCancel) {
+  OrderBook book(16, 10);
+  book.post_ask(3, 5, 4);
+  book.post_ask(7, 2, 1);
+  book.post_ask(1, 5, 2);   // same level as 3, behind it
+  book.post_ask(9, 2, 3);   // same level as 7, behind it
+  book.post_ask(4, 8, 1);
+  expect_same_order(walk(book), naive_order(walk(book)));
+
+  const AskView best = book.best_ask();
+  EXPECT_EQ(best.seller, 7u);
+  EXPECT_EQ(best.price, 2u);
+
+  // Cancel the level-2 head: 9 becomes best; 3 still ahead of 1 at 5.
+  EXPECT_TRUE(book.cancel_ask(7));
+  EXPECT_EQ(book.best_ask().seller, 9u);
+  expect_same_order(walk(book), naive_order(walk(book)));
+
+  // Reprice 3 down into level 2: it forfeits time priority — it joins
+  // BEHIND 9 even though 3's original post predates 9's.
+  book.post_ask(3, 2, 4);
+  const auto order = walk(book);
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0].seller, 9u);
+  EXPECT_EQ(order[1].seller, 3u);
+  expect_same_order(order, naive_order(order));
+
+  // Re-insert 7 at its old price: fresh seq, back of the level-2 queue.
+  book.post_ask(7, 2, 1);
+  const auto order2 = walk(book);
+  ASSERT_GE(order2.size(), 3u);
+  EXPECT_EQ(order2[0].seller, 9u);
+  EXPECT_EQ(order2[1].seller, 3u);
+  EXPECT_EQ(order2[2].seller, 7u);
+  expect_same_order(order2, naive_order(order2));
+}
+
+TEST(OrderBook, PartialFillConservation) {
+  OrderBook book(8, 10);
+  book.post_ask(2, 3, 5);
+  book.post_ask(5, 4, 2);
+  EXPECT_EQ(book.open_quantity(), 7u);
+  EXPECT_EQ(book.depth(), 2u);
+
+  // Partial fills conserve quantity one unit at a time; the ask survives
+  // until its last unit and then expires in place.
+  EXPECT_EQ(book.fill_one(2), 4u);
+  EXPECT_EQ(book.fill_one(2), 3u);
+  EXPECT_EQ(book.open_quantity(), 5u);
+  EXPECT_EQ(book.depth(), 2u);
+  EXPECT_TRUE(book.has_ask(2));
+
+  EXPECT_EQ(book.fill_one(5), 1u);
+  EXPECT_EQ(book.fill_one(5), 0u);
+  EXPECT_FALSE(book.has_ask(5));
+  EXPECT_EQ(book.depth(), 1u);
+  EXPECT_EQ(book.open_quantity(), 3u);
+
+  // The walked quantities always sum to open_quantity.
+  std::uint64_t sum = 0;
+  for (const AskView& a : walk(book)) sum += a.quantity;
+  EXPECT_EQ(sum, book.open_quantity());
+}
+
+TEST(OrderBook, RestingBidsTrackDepthAndClearOnMatch) {
+  OrderBook book(8, 10);
+  EXPECT_EQ(book.bid_depth(), 0u);
+  book.post_bid(1, 3);
+  book.post_bid(4, 2);
+  book.post_bid(1, 5);  // replace, not a second bid
+  EXPECT_EQ(book.bid_depth(), 2u);
+  EXPECT_EQ(book.bid_limit(1), 5u);
+  book.on_bid_matched(1);
+  EXPECT_FALSE(book.has_bid(1));
+  EXPECT_TRUE(book.cancel_bid(4));
+  EXPECT_FALSE(book.cancel_bid(4));
+  EXPECT_EQ(book.bid_depth(), 0u);
+}
+
+TEST(OrderBook, BookVsNaiveScanOracleAtDepthOne) {
+  // Fuzz a mirror model with random interleaved posts / cancels / fills
+  // and require best_ask() (the depth-1 readout every crossing strategy
+  // reduces to) to agree with a naive full scan after every operation.
+  constexpr std::size_t kSellers = 24;
+  OrderBook book(kSellers, 6);
+  std::vector<AskView> mirror(kSellers);  // quantity 0 = absent
+  util::Rng rng(177);
+  std::uint64_t seq = 0;
+
+  auto naive_best = [&]() -> const AskView* {
+    const AskView* best = nullptr;
+    for (const AskView& a : mirror) {
+      if (a.quantity == 0) continue;
+      if (best == nullptr || a.price < best->price ||
+          (a.price == best->price && a.seq < best->seq)) {
+        best = &a;
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto s = static_cast<p2p::PeerId>(rng.uniform_index(kSellers));
+    switch (rng.uniform_index(3)) {
+      case 0: {  // post / reprice
+        const auto price = static_cast<Credits>(1 + rng.uniform_index(6));
+        const auto qty = static_cast<std::uint32_t>(1 + rng.uniform_index(4));
+        book.post_ask(s, price, qty);
+        mirror[s] = AskView{s, price, qty, ++seq};
+        break;
+      }
+      case 1: {  // cancel
+        EXPECT_EQ(book.cancel_ask(s), mirror[s].quantity > 0);
+        mirror[s].quantity = 0;
+        break;
+      }
+      default: {  // fill one unit if an ask rests
+        if (mirror[s].quantity == 0) break;
+        EXPECT_EQ(book.fill_one(s), mirror[s].quantity - 1);
+        --mirror[s].quantity;
+        break;
+      }
+    }
+    const AskView* want = naive_best();
+    const AskView got = book.best_ask();
+    if (want == nullptr) {
+      EXPECT_EQ(got.quantity, 0u) << "step " << step;
+      EXPECT_EQ(book.depth(), 0u);
+    } else {
+      EXPECT_EQ(got.seller, want->seller) << "step " << step;
+      EXPECT_EQ(got.price, want->price) << "step " << step;
+      EXPECT_EQ(got.quantity, want->quantity) << "step " << step;
+    }
+  }
+}
+
+p2p::ProtocolConfig book_config(std::uint64_t seed) {
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 80;
+  cfg.max_peers = 120;
+  cfg.initial_credits = 60;
+  cfg.seed = seed;
+  cfg.market_mode = p2p::ProtocolConfig::MarketMode::kOrderBook;
+  cfg.book.base_price = 2;
+  cfg.book.ask_pricing =
+      p2p::ProtocolConfig::OrderBookConfig::AskPricing::kAdaptive;
+  return cfg;
+}
+
+TEST(OrderBookProtocol, FillConservationAgainstLedger) {
+  // Every purchase in book mode is a book fill: the book's fill/volume
+  // counters must agree with the market-wide transaction accounting, and
+  // the ledger must still conserve credits to the unit.
+  sim::Simulator sim;
+  p2p::StreamingProtocol proto(book_config(21), sim);
+  proto.start();
+  sim.run_until(400.0);
+
+  auto& metrics = proto.metrics();
+  EXPECT_GT(metrics.counter("book.fills"), 0u);
+  EXPECT_EQ(metrics.counter("book.fills"),
+            metrics.counter("market.transactions"));
+  EXPECT_EQ(metrics.counter("book.volume"),
+            metrics.counter("market.volume"));
+  EXPECT_TRUE(proto.ledger().audit());
+
+  const OrderBook* book = proto.order_book();
+  ASSERT_NE(book, nullptr);
+  EXPECT_LE(book->depth(), proto.num_alive());
+}
+
+TEST(OrderBookProtocol, AskExpiryOnSellerDeath) {
+  auto cfg = book_config(22);
+  cfg.churn.enabled = true;
+  cfg.churn.arrival_rate = 0.5;
+  cfg.churn.mean_lifespan = 120.0;
+  sim::Simulator sim;
+  p2p::StreamingProtocol proto(cfg, sim);
+  proto.start();
+  sim.run_until(600.0);
+
+  EXPECT_GT(proto.metrics().counter("churn.departures"), 0u);
+  EXPECT_GT(proto.metrics().counter("book.asks_expired"), 0u)
+      << "departures never expired a resting ask";
+
+  // No dead seller may keep an ask on the book.
+  const OrderBook* book = proto.order_book();
+  ASSERT_NE(book, nullptr);
+  book->for_each_ask([&](const AskView& ask) {
+    EXPECT_TRUE(proto.peer(ask.seller).alive)
+        << "dead seller " << ask.seller << " still resting";
+  });
+}
+
+TEST(OrderBookProtocol, DirectModeCarriesNoBook) {
+  sim::Simulator sim;
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 40;
+  cfg.max_peers = 40;
+  cfg.initial_credits = 30;
+  cfg.seed = 23;
+  p2p::StreamingProtocol proto(cfg, sim);
+  proto.start();
+  sim.run_until(100.0);
+  EXPECT_EQ(proto.order_book(), nullptr);
+  EXPECT_EQ(proto.metrics().counter("book.fills"), 0u);
+}
+
+}  // namespace
+}  // namespace creditflow::market
