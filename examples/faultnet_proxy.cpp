@@ -1,0 +1,86 @@
+// faultnet_proxy — stand-alone driver for util::FaultProxy, so shell-based
+// chaos tests (CI smoke jobs) can put a deterministic flaky network
+// between a sweep worker and its coordinator.
+//
+//   faultnet_proxy --listen-port P --target-port Q [--target-host H]
+//                  [--seed S] [--short-write P] [--delay P]
+//                  [--max-delay SEC] [--disconnect P]
+//                  [--disconnect-after-bytes N] [--max-disconnects N]
+//
+// Prints "LISTENING <port>" once ready, then proxies until killed.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "util/faultnet.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage_error(const char* what) {
+  std::fprintf(stderr, "faultnet_proxy: %s\n", what);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  creditflow::util::FaultProxy::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--listen-host") {
+      options.listen_host = value();
+    } else if (arg == "--listen-port") {
+      options.listen_port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--target-host") {
+      options.target_host = value();
+    } else if (arg == "--target-port") {
+      options.target_port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--short-write") {
+      options.short_write_probability = std::atof(value());
+    } else if (arg == "--delay") {
+      options.delay_probability = std::atof(value());
+    } else if (arg == "--max-delay") {
+      options.max_delay_seconds = std::atof(value());
+    } else if (arg == "--disconnect") {
+      options.disconnect_probability = std::atof(value());
+    } else if (arg == "--disconnect-after-bytes") {
+      options.disconnect_after_bytes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--max-disconnects") {
+      options.max_disconnects =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else {
+      usage_error(("unknown flag " + arg).c_str());
+    }
+  }
+  if (options.target_port == 0) usage_error("--target-port is required");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  creditflow::util::FaultProxy proxy(options);
+  std::printf("LISTENING %u\n", static_cast<unsigned>(proxy.port()));
+  std::fflush(stdout);
+  while (g_stop == 0) ::usleep(100 * 1000);
+  proxy.stop();
+  const auto counters = proxy.counters();
+  std::fprintf(stderr,
+               "faultnet_proxy: connections=%zu short_writes=%zu "
+               "delays=%zu disconnects=%zu\n",
+               counters.connections, counters.short_writes, counters.delays,
+               counters.disconnects);
+  return 0;
+}

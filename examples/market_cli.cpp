@@ -38,6 +38,14 @@
 //                        — the plan arrives over the wire)
 //   --lease-timeout S    revoke + re-queue a silent worker's leases after
 //                        S seconds (coordinator side; default 30)
+//   --journal FILE       crash-safe write-ahead journal: every grant /
+//                        completion / requeue is logged so a killed
+//                        coordinator restarted with --resume executes
+//                        only the missing runs (needs --cache-dir)
+//   --resume             resume an interrupted sweep from --journal
+//   --lease-batch K      grant up to K runs per NEXT, sized per worker
+//                        from measured throughput (default 4)
+//   --fsync              fsync cache and journal appends
 //
 // Prints the market report (single-run mode), optionally the Gini chart,
 // and (with --trace) the sustainability analyzer's verdict on the
@@ -58,6 +66,7 @@
 #include "scenario/scenario.hpp"
 #include "util/assert.hpp"
 #include "util/chart.hpp"
+#include "util/fsio.hpp"
 #include "util/socket.hpp"
 #include "util/trace.hpp"
 
@@ -99,6 +108,16 @@ namespace {
       << "                       (--jobs = parallel worker sessions)\n"
       << "  --lease-timeout S    re-queue a silent worker's runs after S\n"
       << "                       seconds (coordinator side; default 30)\n"
+      << "  --journal FILE       coordinator write-ahead journal: grants,\n"
+      << "                       completions and requeues are logged so a\n"
+      << "                       killed coordinator can --resume; requires\n"
+      << "                       --cache-dir\n"
+      << "  --resume             resume an interrupted sweep from the\n"
+      << "                       --journal (recalls completed runs, holds\n"
+      << "                       orphaned leases for their workers)\n"
+      << "  --lease-batch K      grant up to K runs per NEXT, adaptively\n"
+      << "                       sized per worker (default 4; 1 disables)\n"
+      << "  --fsync              fsync run-cache and journal appends\n"
       << "single-run convenience flags (aliases of --set):\n"
       << "  --peers N --credits C --horizon S --seed K\n"
       << "  --pricing uniform|poisson|perseller|linear\n"
@@ -170,9 +189,9 @@ bool write_file(const std::string& path, const std::string& content) {
     std::cout.flush();
     return static_cast<bool>(std::cout);
   }
-  std::ofstream out(path);
-  out << content;
-  if (!out) {
+  // Temp-file + rename: a crash (or a concurrent reader) never sees a
+  // torn output file.
+  if (!creditflow::util::atomic_write_file(path, content)) {
     std::cerr << "failed to write " << path << "\n";
     return false;
   }
@@ -278,6 +297,10 @@ struct SweepCliOptions {
   std::string bind_host = "0.0.0.0";
   std::uint16_t bind_port = 0;
   double lease_timeout = 30.0;
+  std::string journal;       ///< --journal (coordinator mode); empty off
+  bool resume = false;       ///< --resume: continue from --journal
+  std::size_t lease_batch = 4;  ///< --lease-batch ceiling per NEXT
+  bool fsync = false;        ///< --fsync cache + journal appends
   int status_port = -1;  ///< --status-port (coordinator mode); -1 off
   std::string series_out;
   std::size_t series_every = 1;
@@ -395,6 +418,10 @@ int run_coordinator_sweep(const creditflow::scenario::ScenarioSpec& spec,
   options.port = cli.bind_port;
   options.lease_timeout_seconds = cli.lease_timeout;
   options.cache_dir = cli.cache_dir;
+  options.journal_path = cli.journal;
+  options.resume = cli.resume;
+  options.lease_batch_max = cli.lease_batch;
+  options.fsync = cli.fsync;
   options.status_port = cli.status_port;
   if (cli.status_port >= 0) {
     // Give scrapers a real window to observe the drained terminal state
@@ -402,8 +429,15 @@ int run_coordinator_sweep(const creditflow::scenario::ScenarioSpec& spec,
     options.drain_seconds = std::max(options.drain_seconds, 5.0);
   }
   if (!cli.series_out.empty()) {
-    std::cerr << "[series] note: runs execute on remote workers in "
-                 "coordinator mode; --series-out is ignored here\n";
+    // Workers collect the per-run series alongside each result and stream
+    // it back; the coordinator writes the same FILE.run<idx>.csv files a
+    // local sweep would, byte for byte.
+    options.series_every = cli.series_every;
+    options.series_out_prefix = cli.series_out;
+    if (!cli.cache_dir.empty()) {
+      std::cerr << "[series] note: cache hits skip the simulation and "
+                   "write no series CSV\n";
+    }
   }
   std::size_t done = 0;
   if (!cli.quiet) {
@@ -439,6 +473,8 @@ int run_coordinator_sweep(const creditflow::scenario::ScenarioSpec& spec,
             << " cache_hits=" << coordinator.cache_hits()
             << " requeued=" << coordinator.requeued()
             << " duplicates=" << coordinator.duplicates()
+            << " resumed=" << coordinator.leases_resumed()
+            << " orphans=" << coordinator.journal_orphans()
             << " workers=" << coordinator.workers_seen() << "\n";
 
   sink.add_all(std::move(results));
@@ -468,6 +504,10 @@ int run_worker_mode(const std::string& host, std::uint16_t port,
       scenario::run_worker(host, port, options);
   std::cerr << "[worker] executed=" << report.runs_executed
             << " duplicates=" << report.duplicates
+            << " connect_retries=" << report.connect_retries
+            << " wait_retries=" << report.wait_retries
+            << " reconnects=" << report.reconnects
+            << " resumed=" << report.leases_resumed
             << (report.completed ? " (sweep complete)" : "") << "\n";
   if (!report.completed) {
     std::cerr << "[worker] "
@@ -636,6 +676,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--lease-timeout") {
       cli.lease_timeout = parse_double(next(), argv[0]);
       if (cli.lease_timeout <= 0.0) usage(argv[0]);
+    } else if (arg == "--journal") {
+      cli.journal = next();
+    } else if (arg == "--resume") {
+      cli.resume = true;
+    } else if (arg == "--lease-batch") {
+      cli.lease_batch =
+          static_cast<std::size_t>(parse_double(next(), argv[0]));
+      if (cli.lease_batch == 0) usage(argv[0]);
+    } else if (arg == "--fsync") {
+      cli.fsync = true;
     } else if (arg == "--eta") {
       cli.eta = true;
       cli.out.timing_columns = true;
@@ -718,6 +768,24 @@ int main(int argc, char** argv) {
     std::cerr << "--status-port requires --serve/--coordinator\n";
     return 64;
   }
+  if (!cli.journal.empty() && !cli.coordinate) {
+    std::cerr << "--journal requires --serve/--coordinator (the journal "
+                 "records coordinator scheduling state)\n";
+    return 64;
+  }
+  if (!cli.journal.empty() && cli.cache_dir.empty()) {
+    std::cerr << "--journal requires --cache-dir (results must be as "
+                 "durable as the scheduling state they journal)\n";
+    return 64;
+  }
+  if (cli.resume && cli.journal.empty()) {
+    std::cerr << "--resume requires --journal\n";
+    return 64;
+  }
+  if (cli.fsync && !cli.coordinate) {
+    std::cerr << "--fsync requires --serve/--coordinator\n";
+    return 64;
+  }
 
   // Tracing switches on before any simulation and is dumped by the guard on
   // every exit path below. It records wall-clock spans only — no RNG, no
@@ -767,6 +835,11 @@ int main(int argc, char** argv) {
     } catch (const util::SocketError& e) {
       std::cerr << e.what() << "\n";
       return 1;
+    } catch (const util::PreconditionError& e) {
+      // Journal/option conflicts: stale journal without --resume, plan
+      // mismatch, unwritable journal path.
+      std::cerr << e.what() << "\n";
+      return 64;
     }
   }
 

@@ -5,16 +5,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <map>
 #include <optional>
 #include <sstream>
 
+#include "scenario/journal.hpp"
 #include "scenario/store.hpp"
 #include "util/assert.hpp"
+#include "util/fsio.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
+#include "util/rng.hpp"
 #include "util/socket.hpp"
 #include "util/stats.hpp"
 
@@ -25,19 +29,32 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Ceiling on a RESULT payload announcement: a run record is a few hundred
-/// bytes, so anything past this is a corrupt or hostile header.
+/// bytes and a series CSV a few MiB at pathological cadences, so anything
+/// past this is a corrupt or hostile header.
 constexpr std::size_t kMaxResultBytes = std::size_t{16} * 1024 * 1024;
+
+/// Batch sizing window: a worker is granted roughly the number of runs it
+/// completes in this many seconds (clamped to [1, lease_batch_max]), so
+/// batches stay well inside the lease timeout.
+double batch_window_seconds(double lease_timeout_seconds) {
+  return std::clamp(lease_timeout_seconds / 4.0, 0.25, 2.0);
+}
 
 }  // namespace
 
 struct Coordinator::Impl {
   SweepPlan plan;
   Options options;
-  /// "PLAN <lease_ms> <spec_len> <sweep_len>\n" + spec text + sweep text,
-  /// sent verbatim to every worker that completes the handshake.
-  std::string plan_message;
+  /// "PLAN <lease_ms> <spec_len> <sweep_len> <series_every> " — the
+  /// per-session token is appended at handshake time.
+  std::string plan_header_prefix;
+  /// spec text ‖ sweep text, sent verbatim after the PLAN header.
+  std::string plan_payload;
+  /// Binds journal state to this exact plan (spec ‖ sweep ‖ size).
+  std::string fingerprint;
   std::vector<RunKey> keys;  ///< keys[i] = plan.key(i), for validation
   std::optional<RunStore> store;
+  std::optional<Journal> journal;
   util::Listener listener;
 
   /// One connected worker session.
@@ -45,9 +62,11 @@ struct Coordinator::Impl {
     util::Socket socket;
     std::string inbuf;
     bool hello = false;
+    std::string session;  ///< token issued at HELLO (or adopted via RESUME)
     std::size_t payload_remaining = 0;  ///< >0 → mid-RESULT payload
+    std::size_t payload_record_bytes = 0;  ///< record prefix of the payload
     std::string payload;
-    // Status-endpoint bookkeeping (reported, never acted on).
+    // Status-endpoint bookkeeping; runs_completed also sizes lease batches.
     std::size_t runs_completed = 0;
     Clock::time_point connected_at;
     Clock::time_point last_traffic;
@@ -63,7 +82,8 @@ struct Coordinator::Impl {
   util::Listener status_listener;  ///< invalid unless status_port >= 0
 
   struct Lease {
-    int fd = -1;
+    int fd = -1;  ///< -1 → orphaned: owner disconnected, RESUME may reclaim
+    std::string session;
     Clock::time_point deadline;
     Clock::time_point granted;  ///< for the per-lease wall-time histogram
   };
@@ -78,23 +98,63 @@ struct Coordinator::Impl {
   util::Log2Histogram lease_wall_ms;      ///< grant → first completion
   bool ran = false;
 
+  /// Session-token stream: unique across restarts (wall-clock seeded) and
+  /// across sessions (counter mixed in); purely an identifier, no secrecy.
+  std::uint64_t token_state;
+  std::uint64_t token_counter = 0;
+
+  [[nodiscard]] std::string next_token() {
+    const std::uint64_t raw = util::derive_seed(token_state, ++token_counter);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(raw));
+    return std::string(buf);
+  }
+
   Impl(ScenarioSpec base, SweepSpec sweep, Options opts)
       : plan(std::move(base), std::move(sweep)), options(std::move(opts)) {
     CF_EXPECTS_MSG(options.lease_timeout_seconds > 0.0,
                    "lease timeout must be positive");
+    CF_EXPECTS_MSG(options.lease_batch_max >= 1,
+                   "lease batch size must be at least 1");
+    CF_EXPECTS_MSG(options.journal_path.empty() || !options.cache_dir.empty(),
+                   "--journal requires a run cache (results must be as "
+                   "durable as the scheduling state)");
     const std::string spec_text = plan.base().serialize();
     const std::string sweep_text = plan.sweep().serialize();
+    fingerprint = RunKey::of(spec_text + sweep_text, plan.size()).hex();
     const auto lease_ms = static_cast<long long>(
         options.lease_timeout_seconds * 1000.0 + 0.5);
-    plan_message = "PLAN " + std::to_string(lease_ms) + " " +
-                   std::to_string(spec_text.size()) + " " +
-                   std::to_string(sweep_text.size()) + "\n" + spec_text +
-                   sweep_text;
+    plan_header_prefix = "PLAN " + std::to_string(lease_ms) + " " +
+                         std::to_string(spec_text.size()) + " " +
+                         std::to_string(sweep_text.size()) + " " +
+                         std::to_string(options.series_every) + " ";
+    plan_payload = spec_text + sweep_text;
     keys.reserve(plan.size());
     for (std::size_t i = 0; i < plan.size(); ++i) keys.push_back(plan.key(i));
     results.resize(plan.size());
     have.assign(plan.size(), 0);
-    if (!options.cache_dir.empty()) store.emplace(options.cache_dir);
+    token_state = static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    if (!options.cache_dir.empty()) {
+      store.emplace(options.cache_dir, RunStore::Options{options.fsync});
+    }
+    if (!options.journal_path.empty()) {
+      journal.emplace(options.journal_path,
+                      Journal::Options{options.fsync});
+      const JournalReplay& replay = journal->replayed();
+      CF_EXPECTS_MSG(options.resume || replay.events == 0,
+                     "journal " + options.journal_path +
+                         " already holds a sweep; pass --resume to "
+                         "continue it (or point at a fresh journal)");
+      if (replay.has_plan) {
+        CF_EXPECTS_MSG(replay.fingerprint == fingerprint,
+                       "journal " + options.journal_path +
+                           " belongs to a different sweep (plan "
+                           "fingerprint mismatch)");
+      }
+      journal->record_plan(fingerprint, plan.size());
+    }
     listener = util::Listener::bind(options.host, options.port);
     if (options.status_port >= 0) {
       status_listener = util::Listener::bind(
@@ -122,7 +182,9 @@ std::vector<RunResult> Coordinator::run() {
   im.started_at = Clock::now();
 
   // Resolve cache hits up front — exactly the SweepRunner recall path, so
-  // warm-store output is byte-identical to the uncached sweep.
+  // warm-store output is byte-identical to the uncached sweep. A resumed
+  // coordinator's previously-executed runs come back this way: the store
+  // holds their bytes, the journal holds their scheduling history.
   for (std::size_t i = 0; i < im.plan.size(); ++i) {
     const RunResult* cached =
         im.store ? im.store->find(im.keys[i]) : nullptr;
@@ -142,6 +204,47 @@ std::vector<RunResult> Coordinator::run() {
     im.have[i] = 1;
     ++im.completed;
   }
+
+  const auto lease_duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(im.options.lease_timeout_seconds));
+  const auto resume_grace = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          std::max(0.0, im.options.resume_grace_seconds)));
+
+  // Re-create the orphaned leases a previous incarnation journalled: their
+  // sessions may still be alive (they outlived the coordinator) and will
+  // reclaim them via RESUME; otherwise the normal lease timeout requeues
+  // them. Runs the store already answered stay answered.
+  if (im.journal && im.options.resume) {
+    const JournalReplay& replay = im.journal->replayed();
+    for (const auto& [idx, key] : replay.completed) {
+      if (idx < im.have.size() && im.have[idx] == 0) {
+        CF_LOG_WARN("coordinator: journal says run "
+                    << idx << " completed but the store has no record ("
+                    << (key == im.keys[idx] ? "lost append"
+                                            : "foreign run key")
+                    << "); re-executing");
+      }
+    }
+    for (const auto& [idx, session] : replay.open_leases) {
+      if (idx >= im.have.size() || im.have[idx] != 0) continue;
+      const auto in_pending =
+          std::find(im.pending.begin(), im.pending.end(), idx);
+      if (in_pending != im.pending.end()) im.pending.erase(in_pending);
+      // Orphans wait only the resume grace: their worker either survived
+      // the coordinator crash (it reconnects with RESUME well within the
+      // grace) or died with it (requeue fast, don't stall the fleet).
+      const Clock::time_point now = Clock::now();
+      im.leases[idx] = Impl::Lease{-1, session, now + resume_grace, now};
+      ++journal_orphans_;
+    }
+    if (journal_orphans_ > 0) {
+      CF_LOG_INFO("coordinator: resumed " << journal_orphans_
+                                          << " orphaned lease(s) from "
+                                          << im.journal->path());
+    }
+  }
+
   if (im.completed == im.plan.size()) {
     im.done = true;
     im.drain_deadline =
@@ -150,21 +253,18 @@ std::vector<RunResult> Coordinator::run() {
                                im.options.drain_seconds));
   }
 
-  const auto lease_duration = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(im.options.lease_timeout_seconds));
-
   auto close_conn = [&](int fd) {
-    // A dying worker's leases flow straight back to the queue head, so the
-    // next NEXT from any live worker steals them immediately.
-    for (auto it = im.leases.begin(); it != im.leases.end();) {
-      if (it->second.fd == fd) {
-        CF_LOG_INFO("coordinator: requeueing run " << it->first
-                                                   << " from closed worker");
-        im.pending.push_front(it->first);
-        ++requeued_;
-        it = im.leases.erase(it);
-      } else {
-        ++it;
+    // A vanished worker's leases are not forfeit yet: they orphan for the
+    // resume grace window so the session can reconnect and RESUME them.
+    // Only after the grace (or the original lease deadline, whichever is
+    // sooner) does the timeout sweep requeue them for the fleet.
+    const Clock::time_point grace_deadline = Clock::now() + resume_grace;
+    for (auto& [idx, lease] : im.leases) {
+      if (lease.fd == fd) {
+        CF_LOG_INFO("coordinator: orphaning lease on run "
+                    << idx << " (worker disconnected; RESUME window open)");
+        lease.fd = -1;
+        lease.deadline = std::min(lease.deadline, grace_deadline);
       }
     }
     im.conns.erase(fd);
@@ -180,12 +280,13 @@ std::vector<RunResult> Coordinator::run() {
     }
   };
 
-  /// Handle one completed RESULT payload; false → protocol violation,
-  /// close the connection.
-  auto handle_result = [&](Impl::Conn& conn, const std::string& payload) {
+  /// Handle one completed RESULT payload (record ‖ series); false → protocol
+  /// violation, close the connection.
+  auto handle_result = [&](Impl::Conn& conn, const std::string& payload,
+                           std::size_t record_bytes) {
     RunRecord record;
     try {
-      record = parse_run_record(payload);
+      record = parse_run_record(payload.substr(0, record_bytes));
     } catch (const std::exception& e) {
       CF_LOG_WARN("coordinator: unparseable run record: " << e.what());
       (void)conn.socket.send_all("ERR malformed run record\n");
@@ -212,7 +313,20 @@ std::vector<RunResult> Coordinator::run() {
     merged.metrics = std::move(record.result.metrics);
     merged.telemetry = record.result.telemetry;
     merged.error = std::move(record.result.error);
+    // Durability order: result bytes first (store), then the journal's
+    // done event — a crash between the two re-executes nothing (the store
+    // answers) and corrupts nothing.
     if (im.store) im.store->put(im.keys[idx], merged);
+    if (im.journal) im.journal->record_done(idx, im.keys[idx]);
+    if (payload.size() > record_bytes && im.options.series_every > 0 &&
+        !im.options.series_out_prefix.empty()) {
+      const std::string path = im.options.series_out_prefix + ".run" +
+                               std::to_string(idx) + ".csv";
+      if (!util::atomic_write_file(
+              path, std::string_view(payload).substr(record_bytes))) {
+        CF_LOG_WARN("coordinator: failed writing series CSV " << path);
+      }
+    }
     const auto lease_it = im.leases.find(idx);
     if (lease_it != im.leases.end()) {
       const auto wall =
@@ -230,6 +344,15 @@ std::vector<RunResult> Coordinator::run() {
     ++im.completed;
     ++executed_;
     mark_done_if_complete();
+    if (im.options.abort_after_executed > 0 &&
+        executed_ >= im.options.abort_after_executed && !im.done) {
+      // Crash injection: state is on disk, the ack is not sent — exactly
+      // the window a SIGKILL leaves. The worker redelivers after
+      // reconnecting and collects a DUP from our successor.
+      throw CoordinatorAborted(
+          "coordinator: injected crash after " +
+          std::to_string(executed_) + " executed run(s)");
+    }
     return conn.socket.send_all("OK\n");
   };
 
@@ -239,14 +362,41 @@ std::vector<RunResult> Coordinator::run() {
     if (!conn.hello) {
       if (line == std::string("HELLO ") + kSweepProtocolVersion) {
         conn.hello = true;
+        conn.session = im.next_token();
         ++workers_seen_;
-        return conn.socket.send_all(im.plan_message);
+        return conn.socket.send_all(im.plan_header_prefix + conn.session +
+                                    "\n" + im.plan_payload);
       }
       (void)conn.socket.send_all("ERR expected HELLO " +
                                  std::string(kSweepProtocolVersion) + "\n");
       return false;
     }
     if (line == "PING") return conn.socket.send_all("PONG\n");
+    if (line.rfind("RESUME ", 0) == 0) {
+      // Reclaim the orphaned leases of a previous session: the worker
+      // keeps its grants (and any results computed while disconnected)
+      // instead of forfeiting them to the requeue path. An unknown or
+      // expired token resumes nothing — the worker just starts fresh.
+      const std::string token = line.substr(7);
+      std::string indices;
+      std::size_t reclaimed = 0;
+      const Clock::time_point fresh = Clock::now() + lease_duration;
+      for (auto& [idx, lease] : im.leases) {
+        if (lease.fd != -1 || lease.session != token) continue;
+        lease.fd = conn.socket.fd();
+        lease.deadline = fresh;
+        indices += " " + std::to_string(idx);
+        ++reclaimed;
+      }
+      if (reclaimed > 0) {
+        conn.session = token;  // adopt the resumed identity
+        leases_resumed_ += reclaimed;
+        CF_LOG_INFO("coordinator: session " << token << " resumed "
+                                            << reclaimed << " lease(s)");
+      }
+      return conn.socket.send_all("RESUMED " + std::to_string(reclaimed) +
+                                  indices + "\n");
+    }
     if (line == "NEXT") {
       if (im.completed == im.plan.size()) {
         // Orderly completion: the worker disconnects after reading DONE.
@@ -260,22 +410,54 @@ std::vector<RunResult> Coordinator::run() {
         im.pending.pop_front();
       }
       if (im.pending.empty()) return conn.socket.send_all("WAIT\n");
-      const std::size_t idx = im.pending.front();
-      im.pending.pop_front();
+      // Adaptive batch: grant roughly one batch-window's worth of runs at
+      // this worker's measured throughput. Fresh and slow workers get 1,
+      // so a straggler's failure forfeits at most one run.
+      const double connected = std::chrono::duration<double>(
+                                   Clock::now() - conn.connected_at)
+                                   .count();
+      const double throughput =
+          connected > 0.0
+              ? static_cast<double>(conn.runs_completed) / connected
+              : 0.0;
+      const auto want = std::clamp<std::size_t>(
+          static_cast<std::size_t>(
+              throughput *
+              batch_window_seconds(im.options.lease_timeout_seconds)),
+          1, im.options.lease_batch_max);
+      std::string grant = "RUN";
       const Clock::time_point granted = Clock::now();
-      im.leases[idx] =
-          Impl::Lease{conn.socket.fd(), granted + lease_duration, granted};
-      return conn.socket.send_all("RUN " + std::to_string(idx) + "\n");
+      std::size_t issued = 0;
+      while (issued < want && !im.pending.empty()) {
+        const std::size_t idx = im.pending.front();
+        im.pending.pop_front();
+        if (im.have[idx] != 0) continue;
+        if (im.journal) im.journal->record_grant(idx, conn.session);
+        im.leases[idx] = Impl::Lease{conn.socket.fd(), conn.session,
+                                     granted + lease_duration, granted};
+        grant += " " + std::to_string(idx);
+        ++issued;
+      }
+      if (issued == 0) return conn.socket.send_all("WAIT\n");
+      return conn.socket.send_all(grant + "\n");
     }
     if (line.rfind("RESULT ", 0) == 0) {
       char* end = nullptr;
-      const unsigned long long n = std::strtoull(line.c_str() + 7, &end, 10);
-      if (end == line.c_str() + 7 || *end != '\0' || n == 0 ||
-          n > kMaxResultBytes) {
+      const unsigned long long record_bytes =
+          std::strtoull(line.c_str() + 7, &end, 10);
+      unsigned long long series_bytes = 0;
+      if (end != line.c_str() + 7 && *end == ' ') {
+        const char* series_begin = end;
+        series_bytes = std::strtoull(series_begin, &end, 10);
+      }
+      if (end == line.c_str() + 7 || *end != '\0' || record_bytes == 0 ||
+          record_bytes > kMaxResultBytes || series_bytes > kMaxResultBytes) {
         (void)conn.socket.send_all("ERR bad RESULT length\n");
         return false;
       }
-      conn.payload_remaining = static_cast<std::size_t>(n);
+      conn.payload_record_bytes = static_cast<std::size_t>(record_bytes);
+      conn.payload_remaining =
+          static_cast<std::size_t>(record_bytes + series_bytes);
       conn.payload.clear();
       return true;
     }
@@ -293,7 +475,9 @@ std::vector<RunResult> Coordinator::run() {
         conn.inbuf.erase(0, take);
         conn.payload_remaining -= take;
         if (conn.payload_remaining > 0) return true;  // need more bytes
-        if (!handle_result(conn, conn.payload)) return false;
+        if (!handle_result(conn, conn.payload, conn.payload_record_bytes)) {
+          return false;
+        }
         continue;
       }
       const auto newline = conn.inbuf.find('\n');
@@ -320,16 +504,23 @@ std::vector<RunResult> Coordinator::run() {
       eta = static_cast<double>(remaining) * elapsed /
             static_cast<double>(executed_);
     }
+    std::size_t orphaned = 0;
+    for (const auto& [idx, lease] : im.leases) {
+      if (lease.fd == -1) ++orphaned;
+    }
     std::ostringstream out;
     out << "{\"plan_runs\":" << im.plan.size()
         << ",\"completed\":" << im.completed
         << ",\"pending\":" << im.pending.size()
         << ",\"leased\":" << im.leases.size()
+        << ",\"orphaned_leases\":" << orphaned
         << ",\"executed\":" << executed_
         << ",\"cache_hits\":" << cache_hits_
         << ",\"requeued\":" << requeued_
         << ",\"duplicates\":" << duplicates_
         << ",\"workers_seen\":" << workers_seen_
+        << ",\"leases_resumed\":" << leases_resumed_
+        << ",\"journal_orphans\":" << journal_orphans_
         << ",\"done\":" << (im.done ? "true" : "false")
         << ",\"elapsed_seconds\":" << util::format_double(elapsed)
         << ",\"eta_seconds\":";
@@ -402,6 +593,10 @@ std::vector<RunResult> Coordinator::run() {
           duplicates_);
     gauge("workers_seen", "Distinct workers that ever joined.",
           workers_seen_);
+    gauge("leases_resumed", "Leases reclaimed via the RESUME handshake.",
+          leases_resumed_);
+    gauge("journal_orphans", "Orphaned leases re-created from the journal.",
+          journal_orphans_);
     gauge("done", "1 when every planned run is complete.",
           im.done ? 1 : 0);
     gauge("elapsed_seconds", "Wall time since the coordinator started.",
@@ -459,6 +654,7 @@ std::vector<RunResult> Coordinator::run() {
     return false;
   };
 
+  try {
   while (true) {
     const Clock::time_point now = Clock::now();
     // With the status endpoint enabled the early exit is off: scrapers must
@@ -470,12 +666,17 @@ std::vector<RunResult> Coordinator::run() {
       break;
     }
 
-    // Revoke leases whose workers went silent past the timeout; the runs
-    // go to the queue head so the next idle worker steals them.
+    // Revoke leases whose deadline passed — a worker gone silent past the
+    // lease timeout, or a disconnected session whose RESUME grace expired.
+    // The runs go to the queue head so the next idle worker steals them.
     for (auto it = im.leases.begin(); it != im.leases.end();) {
       if (now >= it->second.deadline) {
         CF_LOG_WARN("coordinator: lease on run "
-                    << it->first << " timed out; requeueing");
+                    << it->first
+                    << (it->second.fd == -1
+                            ? " lost its worker; requeueing"
+                            : " timed out; requeueing"));
+        if (im.journal) im.journal->record_requeue(it->first);
         im.pending.push_front(it->first);
         ++requeued_;
         it = im.leases.erase(it);
@@ -578,6 +779,16 @@ std::vector<RunResult> Coordinator::run() {
         im.status_conns.erase(fd);
       }
     }
+  }
+  } catch (const CoordinatorAborted&) {
+    // The injected crash behaves exactly like the SIGKILL it stands in
+    // for: every socket drops on the spot (workers see a dead peer, not a
+    // half-open idle connection), and only the disk state survives.
+    im.listener.close();
+    im.conns.clear();
+    im.status_listener.close();
+    im.status_conns.clear();
+    throw;
   }
 
   im.listener.close();

@@ -1,12 +1,12 @@
-// CreditFlow scenario engine: the work-stealing sweep coordinator.
+// CreditFlow scenario engine: the fault-tolerant work-stealing sweep
+// coordinator.
 //
 // A Coordinator owns a SweepPlan and hands out its run indices dynamically
 // to any number of remote workers over a minimal line-based TCP protocol,
 // replacing static `--shard I/N` partitioning: a slow or dead worker's
-// outstanding leases flow back into the queue (heartbeat + lease timeout,
-// immediate on disconnect), so fast machines steal the stragglers' work
-// and the sweep finishes at the speed of the aggregate fleet, not its
-// slowest member.
+// outstanding leases flow back into the queue (heartbeat + lease timeout),
+// so fast machines steal the stragglers' work and the sweep finishes at
+// the speed of the aggregate fleet, not its slowest member.
 //
 // Determinism contract — identical to shard-and-merge: a run is a pure
 // function of the plan entry, results are merged by run_index, and
@@ -14,28 +14,56 @@
 // round-trip doubles), so the coordinator's aggregate CSV/JSON and per-run
 // records are byte-identical to a single-process ThreadPoolExecutor run of
 // the same spec — regardless of worker count, scheduling, disconnects,
-// lease reassignment, or duplicate deliveries. The first completion of a
-// RunKey wins; every later delivery of that key is acknowledged and
-// discarded, so a killed worker never loses a run (its lease is re-queued)
-// and never duplicates one (its late result is a no-op).
+// lease reassignment, duplicate deliveries, or coordinator restarts. The
+// first completion of a RunKey wins; every later delivery of that key is
+// acknowledged and discarded.
 //
-// Wire protocol (newline-delimited ASCII; payloads length-prefixed):
+// Fault tolerance (protocol v2):
 //
-//   worker → HELLO creditflow-sweep-1
+//   * Crash-safe journal — with Options::journal_path set, every grant,
+//     completion, and requeue is written ahead to an append-only JSONL
+//     journal (journal.hpp) next to the RunStore. A coordinator killed
+//     mid-sweep and restarted with Options::resume replays journal +
+//     store, recalls every completed run, re-creates orphaned leases
+//     under their original session tokens, and executes only the missing
+//     runs — output byte-identical to an uninterrupted sweep.
+//   * RESUME handshake — each session is issued a token in PLAN; a worker
+//     whose TCP connection drops reconnects and sends RESUME <token> to
+//     reclaim its outstanding leases (and deliver results computed while
+//     disconnected) instead of forfeiting them. A disconnected session's
+//     leases are therefore held for Options::resume_grace_seconds before
+//     being requeued.
+//   * Batched adaptive leases — NEXT grants up to Options::lease_batch_max
+//     run indices at once, sized per worker from the throughput the
+//     serving loop already tracks for /status: fast workers amortize
+//     round-trips over bigger batches, stragglers shrink toward one run
+//     so their failure forfeits little.
+//
+// Wire protocol v2 (newline-delimited ASCII; payloads length-prefixed):
+//
+//   worker → HELLO creditflow-sweep-2
 //   coord  → PLAN <lease_timeout_ms> <spec_bytes> <sweep_bytes>
+//                 <series_every> <session_token>
 //            followed by exactly spec_bytes + sweep_bytes of raw text
 //            (ScenarioSpec::serialize ‖ SweepSpec::serialize); the worker
-//            rebuilds the identical SweepPlan from it
-//   worker → NEXT                 request a lease
-//   coord  → RUN <run_index>      lease granted (refreshed by any traffic)
-//          | WAIT                 nothing grantable now — retry shortly
-//          | DONE                 sweep complete — disconnect
-//   worker → PING                 heartbeat (keeps leases alive mid-run)
+//            rebuilds the identical SweepPlan from it. series_every > 0
+//            asks workers to collect per-run series at that cadence.
+//   worker → RESUME <session_token>   reclaim a previous session's leases
+//   coord  → RESUMED <n> [<idx>...]   the reclaimed run indices (0 → the
+//            token is unknown/expired; the worker simply starts fresh)
+//   worker → NEXT                     request leases
+//   coord  → RUN <idx> [<idx>...]     lease batch granted (any traffic
+//          |                          from the session refreshes it)
+//          | WAIT                     nothing grantable now — back off
+//          | DONE                     sweep complete — disconnect
+//   worker → PING                     heartbeat (keeps leases alive)
 //   coord  → PONG
-//   worker → RESULT <nbytes>      followed by nbytes of run-record JSONL
-//   coord  → OK                   first completion of this run — recorded
-//          | DUP                  already have it — discarded
-//   coord  → ERR <message>        protocol violation; connection closed
+//   worker → RESULT <nbytes> <series_bytes>
+//            followed by nbytes of run-record JSONL, then series_bytes of
+//            per-run series CSV (0 when none was collected)
+//   coord  → OK                       first completion — recorded
+//          | DUP                      already have it — discarded
+//   coord  → ERR <message>            protocol violation; connection closed
 //
 // The coordinator validates every delivered record's RunKey against its
 // own plan.key(run_index), so a worker built from a different binary or
@@ -46,12 +74,14 @@
 // keys already stored never get leased (they are recalled as cache hits,
 // exactly like SweepRunner), and every fresh record is appended as it
 // streams in, so a killed *coordinator* restarted on the same cache
-// directory re-executes only what the store has not yet seen.
+// directory re-executes only what the store has not yet seen — and with
+// the journal, resumes exact lease/session state too.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -63,8 +93,17 @@
 namespace creditflow::scenario {
 
 /// The protocol version token exchanged in HELLO; bumped whenever the wire
-/// format changes incompatibly.
-inline constexpr const char* kSweepProtocolVersion = "creditflow-sweep-1";
+/// format changes incompatibly. v2: RESUME, batched RUN, series payloads.
+inline constexpr const char* kSweepProtocolVersion = "creditflow-sweep-2";
+
+/// Thrown out of Coordinator::run() when Options::abort_after_executed
+/// fires — the deterministic stand-in for a SIGKILL in crash-recovery
+/// tests (the coordinator stops serving with leases outstanding and
+/// results unmerged, exactly like a killed process).
+class CoordinatorAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Serves a SweepPlan to socket workers and merges their results.
 class Coordinator {
@@ -86,9 +125,38 @@ class Coordinator {
     /// DONE, RESULT → DUP) for at most this long before closing up.
     double drain_seconds = 1.0;
 
+    /// How long a disconnected session's leases wait for a RESUME before
+    /// being requeued (capped by the remaining lease timeout). Long
+    /// enough for a reconnect with backoff, short enough that a genuinely
+    /// dead worker delays the fleet by at most this much.
+    double resume_grace_seconds = 2.0;
+
+    /// Ceiling on run indices granted per NEXT. The actual batch is sized
+    /// per worker from its measured throughput (fresh and slow workers
+    /// get 1); 1 disables batching entirely.
+    std::size_t lease_batch_max = 4;
+
     /// Shared content-addressed run cache; empty disables it. Stored keys
     /// are never leased; fresh records are appended as they arrive.
     std::string cache_dir;
+
+    /// Write-ahead journal path; empty disables journalling. Requires
+    /// cache_dir (results must be as durable as the scheduling state).
+    /// With an existing non-empty journal, construction throws unless
+    /// `resume` is set.
+    std::string journal_path;
+    /// Resume an interrupted sweep from journal_path: recall completed
+    /// runs, re-create orphaned leases, execute only what is missing.
+    bool resume = false;
+    /// fsync store and journal appends (power-cut durability).
+    bool fsync = false;
+
+    /// Per-run series collection cadence announced to workers; 0 off.
+    /// When > 0 and series_out_prefix is set, delivered series blobs are
+    /// written to "<series_out_prefix>.run<idx>.csv" — byte-identical to
+    /// the files a local ThreadPoolExecutor sweep would write.
+    std::size_t series_every = 0;
+    std::string series_out_prefix;
 
     /// Called for each completed run — cache hits first (telemetry
     /// .from_cache set), then fresh completions in arrival order. Runs on
@@ -103,11 +171,19 @@ class Coordinator {
     /// drain_seconds window (no early exit when the last worker leaves), so
     /// a final scrape can still observe completed == plan_runs.
     int status_port = -1;
+
+    /// Crash injection for recovery tests: throw CoordinatorAborted out of
+    /// run() once this many fresh completions have been recorded (state on
+    /// disk, connections dropped on destruction — a process kill without
+    /// the process). 0 disables.
+    std::size_t abort_after_executed = 0;
   };
 
   /// Binds and listens immediately (so workers can connect before run()),
   /// but serves nothing until run() is called. Throws util::SocketError
-  /// when the address cannot be bound.
+  /// when the address cannot be bound, util::PreconditionError on option
+  /// conflicts (journal without cache, stale journal without resume, or a
+  /// journal written by a different plan).
   Coordinator(ScenarioSpec base, SweepSpec sweep, Options options);
   ~Coordinator();
 
@@ -127,12 +203,19 @@ class Coordinator {
   /// Runs answered by the cache / completed by workers in run().
   [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::size_t executed() const { return executed_; }
-  /// Leases revoked (disconnect or timeout) and re-queued.
+  /// Leases revoked (timeout, or disconnect past the resume grace) and
+  /// re-queued.
   [[nodiscard]] std::size_t requeued() const { return requeued_; }
   /// Deliveries discarded because the run was already complete.
   [[nodiscard]] std::size_t duplicates() const { return duplicates_; }
   /// Distinct connections that completed the HELLO handshake.
   [[nodiscard]] std::size_t workers_seen() const { return workers_seen_; }
+  /// Leases reclaimed by workers through the RESUME handshake.
+  [[nodiscard]] std::size_t leases_resumed() const { return leases_resumed_; }
+  /// Orphaned leases re-created from a resumed journal.
+  [[nodiscard]] std::size_t journal_orphans() const {
+    return journal_orphans_;
+  }
 
  private:
   struct Impl;
@@ -143,6 +226,8 @@ class Coordinator {
   std::size_t requeued_ = 0;
   std::size_t duplicates_ = 0;
   std::size_t workers_seen_ = 0;
+  std::size_t leases_resumed_ = 0;
+  std::size_t journal_orphans_ = 0;
 };
 
 }  // namespace creditflow::scenario

@@ -17,6 +17,7 @@
 #include "core/market.hpp"
 #include "econ/gini.hpp"
 #include "util/assert.hpp"
+#include "util/fsio.hpp"
 #include "util/logging.hpp"
 #include "util/trace.hpp"
 
@@ -197,7 +198,8 @@ std::vector<RunResult> ThreadPoolExecutor::execute(
       RunResult& result = results[slot];
       result = plan.labelled_result(run_index);
       const bool want_series =
-          options.series_every > 0 && !options.series_out_prefix.empty();
+          options.series_every > 0 &&
+          (!options.series_out_prefix.empty() || options.series_sink);
       std::string series_csv;
       try {
         execute_spec_into(plan.spec(run_index), result, options.keep_reports,
@@ -207,12 +209,18 @@ std::vector<RunResult> ThreadPoolExecutor::execute(
         result.error = e.what();  // instantiate() itself rejected the point
       }
       if (want_series && !series_csv.empty()) {
-        const std::string path = options.series_out_prefix + ".run" +
-                                 std::to_string(run_index) + ".csv";
-        std::ofstream out(path);
-        out << series_csv;
-        if (!out.good()) {
-          CF_LOG_WARN("failed writing series CSV " << path);
+        if (!options.series_out_prefix.empty()) {
+          // Atomic replace: a reader (or a crash) never sees a torn
+          // series file.
+          const std::string path = options.series_out_prefix + ".run" +
+                                   std::to_string(run_index) + ".csv";
+          if (!util::atomic_write_file(path, series_csv)) {
+            CF_LOG_WARN("failed writing series CSV " << path);
+          }
+        }
+        if (options.series_sink) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          options.series_sink(run_index, series_csv);
         }
       }
       if (options.on_result) {

@@ -103,6 +103,15 @@ struct ExecuteOptions {
   /// produce no series — they never simulate.
   std::size_t series_every = 0;
   std::string series_out_prefix;
+  /// When set (and series_every > 0), the rendered per-run series CSV is
+  /// handed to this callback instead of / in addition to the file path
+  /// above — how sweep workers ship series bytes to the coordinator over
+  /// the wire instead of writing local files. Called with the run index
+  /// and the exact bytes a local run would have written (empty series
+  /// produce no call, matching the no-file behaviour). Serialized with
+  /// on_result.
+  std::function<void(std::size_t run_index, const std::string& series_csv)>
+      series_sink;
 };
 
 /// Computes plan entries. Implementations must be safe to reuse across

@@ -269,7 +269,10 @@ std::vector<RunRecord> read_run_records(const std::string& path) {
   return records;
 }
 
-RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
+RunStore::RunStore(std::string dir) : RunStore(std::move(dir), Options{}) {}
+
+RunStore::RunStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
   CF_EXPECTS_MSG(!dir_.empty(), "run store directory must be non-empty");
   std::filesystem::create_directories(dir_);
   path_ = (std::filesystem::path(dir_) / "runs.jsonl").string();
@@ -287,7 +290,6 @@ RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
   std::size_t skipped = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    needs_newline_ = in.eof();  // final line arrived without a terminator
     if (line.empty()) continue;
     try {
       RunRecord record = parse_run_record(line);
@@ -317,24 +319,13 @@ void RunStore::put(const RunKey& key, const RunResult& result) {
   if (!result.error.empty()) return;
   if (entries_.find(key) != entries_.end()) return;
 
-  if (!append_.is_open()) {
-    append_.open(path_, std::ios::app);
-    CF_EXPECTS_MSG(append_.good(), "cannot append to run store " + path_);
-  }
-  // One pre-composed buffer per record, flushed immediately: with O_APPEND
-  // semantics the line reaches the file in a single write, so concurrent
+  // One single-write record per append (O_APPEND semantics), so concurrent
   // executors appending to a shared store interleave at record boundaries,
-  // not mid-line. A leading newline first repairs a truncated tail left by
-  // a killed writer — otherwise the fresh record would fuse with the torn
-  // line and both would be lost to the lenient loader.
-  std::string buffer;
-  if (needs_newline_) buffer += '\n';
-  buffer += serialize_run_record(key, result);
-  buffer += '\n';
-  append_.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-  append_.flush();
-  needs_newline_ = false;
-  CF_EXPECTS_MSG(append_.good(), "failed writing run store " + path_);
+  // not mid-line; AppendFile repairs a torn tail left by a killed writer
+  // before the first fresh record, and fsyncs per record when the store was
+  // opened durable.
+  if (!append_.is_open()) append_.open(path_, options_.fsync);
+  append_.append_record(serialize_run_record(key, result));
 
   RunResult stored = result;
   stored.report = core::MarketReport{};  // the store never holds reports

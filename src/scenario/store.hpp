@@ -16,13 +16,13 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "scenario/executor.hpp"
 #include "scenario/plan.hpp"
+#include "util/fsio.hpp"
 
 namespace creditflow::scenario {
 
@@ -65,7 +65,17 @@ struct RunRecord {
 /// carry identical bytes and dedup on load (first wins).
 class RunStore {
  public:
+  struct Options {
+    /// fsync(2) after every appended record. Off by default — a flushed
+    /// O_APPEND write already survives any process kill; fsync upgrades
+    /// that to surviving a machine crash, at per-record fsync cost.
+    /// Sweep-farm deployments that rely on the cache + journal for
+    /// crash recovery turn this on via --fsync.
+    bool fsync = false;
+  };
+
   explicit RunStore(std::string dir);
+  RunStore(std::string dir, Options options);
 
   /// The backing JSONL file.
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -85,13 +95,12 @@ class RunStore {
  private:
   std::string dir_;
   std::string path_;
+  Options options_;
   std::map<RunKey, RunResult> entries_;
-  /// Lazily-opened append stream, kept open across put()s (each record is
-  /// flushed, so a crash loses at most the in-flight line).
-  std::ofstream append_;
-  /// The existing file ends without '\n' (truncated tail); the first
-  /// append must start on a fresh line.
-  bool needs_newline_ = false;
+  /// Lazily-opened append log, kept open across put()s (each record is a
+  /// single write, so a crash loses at most the in-flight line; torn-tail
+  /// repair lives in AppendFile).
+  util::AppendFile append_;
 };
 
 }  // namespace creditflow::scenario

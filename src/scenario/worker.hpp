@@ -1,15 +1,23 @@
 // CreditFlow scenario engine: the sweep worker — the client half of the
 // work-stealing coordinator protocol (coordinator.hpp documents the wire
-// format).
+// format, v2).
 //
 // A worker process runs `sessions` parallel lease loops, each over its own
 // TCP connection: HELLO → receive the plan (spec + sweep text, from which
 // the worker rebuilds the coordinator's exact SweepPlan) → repeatedly NEXT
-// for a lease, execute the granted run through a scenario::Executor, and
-// stream the finished run record back. A background heartbeat per session
-// keeps leases alive across long runs; if the worker dies instead, the
-// coordinator's lease timeout (or the broken connection) re-queues its
-// work for the surviving fleet.
+// for a lease batch, execute the granted runs through a
+// scenario::Executor, and stream each finished run record (plus its series
+// CSV when the coordinator asked for one) back. A background heartbeat per
+// session keeps leases alive across long runs.
+//
+// Fault tolerance: a session that loses its connection does not abandon
+// its work — it reconnects with capped exponential backoff (seeded
+// jitter), replays the handshake, verifies it is still the same plan, and
+// sends RESUME <token> to reclaim the leases (and redeliver any result
+// computed while disconnected) that the coordinator held in its orphan
+// grace window. Only when the coordinator stays gone past the reconnect
+// window does the session report failure; the coordinator's lease timeout
+// then requeues its runs for the surviving fleet.
 //
 // Workers carry no sweep-specific state of their own — any machine with
 // the binary joins a sweep knowing only HOST:PORT, and the coordinator's
@@ -33,8 +41,8 @@ struct WorkerOptions {
   std::size_t sessions = 1;
 
   /// How runs are computed; nullptr → a shared in-process
-  /// ThreadPoolExecutor (each session executes its single leased run
-  /// inline). Not owned; must outlive run_worker.
+  /// ThreadPoolExecutor (each session executes its leased runs inline,
+  /// one at a time). Not owned; must outlive run_worker.
   Executor* executor = nullptr;
 
   /// Heartbeat period while executing; 0 → a quarter of the lease timeout
@@ -42,17 +50,29 @@ struct WorkerOptions {
   /// provoke lease-timeout stealing.
   double heartbeat_seconds = 0.0;
 
-  /// Sleep between NEXT retries while the coordinator answers WAIT (all
-  /// remaining runs leased elsewhere) — the window in which a revoked
-  /// lease is stolen.
+  /// First delay of the WAIT/connect backoff schedule (doubles per retry,
+  /// jittered, capped at backoff_max_seconds; resets on success).
   double wait_sleep_seconds = 0.05;
+  /// Ceiling of the backoff schedule.
+  double backoff_max_seconds = 1.0;
+  /// Seed of the jitter stream (mixed with the session index, so sessions
+  /// never retry in lockstep). 0 → a fixed default.
+  std::uint64_t backoff_seed = 0;
 
   /// Deadline for any single protocol reply.
   double io_timeout_seconds = 60.0;
 
-  /// Total window for the initial connect, retried until it succeeds —
-  /// lets workers start before the coordinator finishes binding.
+  /// Total window for the initial connect, retried with backoff until it
+  /// succeeds — lets workers start before the coordinator finishes
+  /// binding.
   double connect_timeout_seconds = 10.0;
+
+  /// Reconnect-and-RESUME after a lost connection instead of failing the
+  /// session. Disable to reproduce protocol-v1 forfeit behaviour (tests).
+  bool reconnect = true;
+  /// Total window for each reconnect (backoff-retried); past it the
+  /// session gives up and the coordinator's lease timeout takes over.
+  double reconnect_window_seconds = 30.0;
 
   /// Called after each run this worker computed and the coordinator
   /// accepted (serialized across sessions; progress reporting only).
@@ -64,17 +84,23 @@ struct WorkerReport {
   std::size_t runs_executed = 0;   ///< completions the coordinator recorded
   std::size_t duplicates = 0;      ///< completions it already had (DUP)
   std::size_t sessions_completed = 0;  ///< sessions that read DONE
+  /// Retry/backoff telemetry, aggregated over sessions.
+  std::size_t connect_retries = 0;  ///< failed connect attempts retried
+  std::size_t wait_retries = 0;     ///< WAIT replies slept through
+  std::size_t reconnects = 0;       ///< connections re-established mid-sweep
+  std::size_t leases_resumed = 0;   ///< leases reclaimed via RESUME
   /// True when the sweep finished while this worker was attached (at least
   /// one session read DONE). False means the coordinator vanished first.
   bool completed = false;
   /// First hard session error (handshake failure, protocol violation,
-  /// dead coordinator mid-lease); empty when everything ended orderly.
+  /// dead coordinator past the reconnect window); empty when everything
+  /// ended orderly.
   std::string error;
 };
 
 /// Run a worker against the coordinator at host:port until the sweep
-/// completes (DONE) or the connection is lost. Blocks; spawns
-/// options.sessions internal threads.
+/// completes (DONE) or the coordinator stays unreachable past the
+/// reconnect window. Blocks; spawns options.sessions internal threads.
 [[nodiscard]] WorkerReport run_worker(const std::string& host,
                                       std::uint16_t port,
                                       const WorkerOptions& options = {});

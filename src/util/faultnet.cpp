@@ -1,0 +1,204 @@
+#include "util/faultnet.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace creditflow::util {
+
+namespace {
+
+/// Sleep granularity of the pump loops — also the bound on how long stop()
+/// waits for a pump to notice the shutdown flag.
+constexpr int kPollMs = 20;
+
+}  // namespace
+
+struct FaultProxy::Impl {
+  Options options;
+  Listener listener;
+  std::atomic<bool> stopping{false};
+
+  std::atomic<std::size_t> connections{0};
+  std::atomic<std::size_t> short_writes{0};
+  std::atomic<std::size_t> delays{0};
+  std::atomic<std::size_t> disconnects{0};
+
+  std::mutex threads_mutex;
+  std::vector<std::thread> pumps;
+  std::thread acceptor;
+
+  explicit Impl(Options opts) : options(std::move(opts)) {
+    listener = Listener::bind(options.listen_host, options.listen_port);
+  }
+
+  /// Claim one injected disconnect against the lifetime cap.
+  bool take_disconnect_budget() {
+    std::size_t used = disconnects.load();
+    while (used < options.max_disconnects) {
+      if (disconnects.compare_exchange_weak(used, used + 1)) return true;
+    }
+    return false;
+  }
+
+  void sleep_interruptible(double seconds) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    while (!stopping.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+    }
+  }
+
+  /// Forward one chunk with fault decisions from `rng`. Returns false when
+  /// the connection must be severed (injected cut or a dead peer).
+  bool forward_chunk(Socket& dst, const std::string& chunk, Rng& rng,
+                     std::uint64_t& carried) {
+    std::size_t deliver = chunk.size();
+    bool cut = false;
+
+    // Deterministic cut: sever exactly at the configured byte offset of
+    // the connection's total carried traffic, delivering the prefix — a
+    // short write *and* a mid-message disconnect in one event.
+    if (options.disconnect_after_bytes > 0 &&
+        carried < options.disconnect_after_bytes &&
+        carried + deliver >= options.disconnect_after_bytes &&
+        take_disconnect_budget()) {
+      deliver = static_cast<std::size_t>(options.disconnect_after_bytes -
+                                         carried);
+      cut = true;
+    }
+    // Probabilistic cut: a random prefix of this chunk, then the axe.
+    if (!cut && options.disconnect_probability > 0.0 &&
+        rng.bernoulli(options.disconnect_probability) &&
+        take_disconnect_budget()) {
+      deliver = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(deliver)));
+      cut = true;
+    }
+    if (!cut && options.delay_probability > 0.0 &&
+        rng.bernoulli(options.delay_probability)) {
+      delays.fetch_add(1);
+      sleep_interruptible(rng.uniform(0.0, options.max_delay_seconds));
+    }
+    if (!cut && deliver > 1 && options.short_write_probability > 0.0 &&
+        rng.bernoulli(options.short_write_probability)) {
+      // Fragment the chunk: deliver a strict prefix now, the rest after a
+      // pause — the receiver must reassemble across reads.
+      const auto split = static_cast<std::size_t>(
+          rng.uniform(1.0, static_cast<double>(deliver)));
+      short_writes.fetch_add(1);
+      if (!dst.send_all(std::string_view(chunk).substr(0, split))) {
+        return false;
+      }
+      carried += split;
+      sleep_interruptible(rng.uniform(0.0, options.max_delay_seconds));
+      if (stopping.load()) return false;
+      if (!dst.send_all(std::string_view(chunk).substr(split, deliver -
+                                                                  split))) {
+        return false;
+      }
+      carried += deliver - split;
+      return true;
+    }
+
+    if (deliver > 0 &&
+        !dst.send_all(std::string_view(chunk).substr(0, deliver))) {
+      return false;
+    }
+    carried += deliver;
+    if (cut) {
+      CF_LOG_INFO("faultnet: injected disconnect after " << carried
+                                                         << " bytes");
+    }
+    return !cut;
+  }
+
+  /// Shuttle bytes between one accepted client and a fresh upstream
+  /// connection until either side dies, a fault cuts the link, or the
+  /// proxy stops.
+  void pump(Socket client, std::size_t conn_index) {
+    Socket upstream;
+    try {
+      upstream =
+          Socket::connect(options.target_host, options.target_port, 5.0);
+    } catch (const SocketError& e) {
+      CF_LOG_WARN("faultnet: upstream connect failed: " << e.what());
+      return;
+    }
+    Rng rng(derive_seed(options.seed, conn_index));
+    std::uint64_t carried = 0;
+    std::string chunk;
+    while (!stopping.load()) {
+      pollfd fds[2] = {{client.fd(), POLLIN, 0}, {upstream.fd(), POLLIN, 0}};
+      const int rc = ::poll(fds, 2, kPollMs);
+      if (rc < 0) return;
+      if (rc == 0) continue;
+      for (int side = 0; side < 2; ++side) {
+        if ((fds[side].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+          continue;
+        }
+        Socket& from = side == 0 ? client : upstream;
+        Socket& to = side == 0 ? upstream : client;
+        chunk.clear();
+        const IoStatus status = from.recv_some(chunk, 0.0);
+        if (status == IoStatus::kTimeout) continue;
+        if (status != IoStatus::kOk) return;
+        if (!forward_chunk(to, chunk, rng, carried)) return;
+      }
+    }
+  }
+
+  void accept_loop() {
+    while (!stopping.load()) {
+      if (!wait_readable(listener.fd(), 0.05)) continue;
+      Socket client = listener.accept();
+      if (!client.valid()) continue;
+      const std::size_t index = connections.fetch_add(1);
+      const std::lock_guard<std::mutex> lock(threads_mutex);
+      if (stopping.load()) return;
+      pumps.emplace_back([this, index, c = std::move(client)]() mutable {
+        pump(std::move(c), index);
+      });
+    }
+  }
+};
+
+FaultProxy::FaultProxy(Options options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {
+  impl_->acceptor = std::thread([impl = impl_.get()] {
+    impl->accept_loop();
+  });
+}
+
+FaultProxy::~FaultProxy() { stop(); }
+
+std::uint16_t FaultProxy::port() const { return impl_->listener.port(); }
+
+void FaultProxy::stop() {
+  if (impl_->stopping.exchange(true)) return;
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  impl_->listener.close();
+  std::vector<std::thread> pumps;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->threads_mutex);
+    pumps.swap(impl_->pumps);
+  }
+  for (auto& t : pumps) t.join();
+}
+
+FaultProxy::Counters FaultProxy::counters() const {
+  return Counters{impl_->connections.load(), impl_->short_writes.load(),
+                  impl_->delays.load(), impl_->disconnects.load()};
+}
+
+}  // namespace creditflow::util

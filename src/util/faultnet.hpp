@@ -1,0 +1,92 @@
+// CreditFlow: deterministic fault-injecting TCP proxy for exercising the
+// sweep farm's failure paths in-process.
+//
+// A FaultProxy sits between a worker and the coordinator (worker connects
+// to the proxy, the proxy connects onward to the real target) and injects
+// the failures a flaky network produces — short writes that fragment a
+// message across segments, delayed delivery, and mid-message disconnects —
+// from a seeded random stream. Every fault decision is a pure function of
+// (seed, connection index, chunk index), so a test that pins a seed
+// replays the same fault schedule; what the kernel cannot pin (TCP chunk
+// boundaries) only shifts *where* faults land, never whether the protocol
+// must survive them.
+//
+// Disconnects sever both halves of a proxied connection at once, exactly
+// like a dropped link: the worker sees a dead coordinator (and reconnects
+// with backoff + RESUME), the coordinator sees a dead worker (and orphans
+// its leases for the resume grace window). `disconnect_after_bytes` cuts
+// deterministically once a connection has carried that many bytes —
+// placing the cut between lease grant and result delivery regardless of
+// chunk timing — while `disconnect_probability` cuts probabilistically
+// per forwarded chunk. `max_disconnects` bounds total injected cuts so a
+// flaky link is flaky finitely and every sweep still terminates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace creditflow::util {
+
+/// A transparent TCP proxy that corrupts *delivery*, never bytes.
+class FaultProxy {
+ public:
+  struct Options {
+    std::string listen_host = "127.0.0.1";
+    std::uint16_t listen_port = 0;  ///< 0 picks a free one (see port())
+    std::string target_host = "127.0.0.1";
+    std::uint16_t target_port = 0;
+
+    std::uint64_t seed = 1;  ///< root of every fault decision stream
+
+    /// Probability a forwarded chunk is fragmented: a prefix is delivered,
+    /// the rest follows after a short pause — a short write on the wire.
+    double short_write_probability = 0.0;
+    /// Probability a forwarded chunk is held back before delivery.
+    double delay_probability = 0.0;
+    /// Ceiling on any injected pause (uniform in (0, max]).
+    double max_delay_seconds = 0.02;
+
+    /// Probability (per forwarded chunk) the connection is cut mid-stream.
+    double disconnect_probability = 0.0;
+    /// Cut a connection once it has carried this many bytes (both
+    /// directions summed); 0 disables. Deterministic placement for tests
+    /// that need the cut between a lease and its delivery.
+    std::uint64_t disconnect_after_bytes = 0;
+    /// Lifetime cap on injected disconnects across all connections.
+    std::size_t max_disconnects = static_cast<std::size_t>(-1);
+  };
+
+  /// What the proxy did — for asserting that faults actually fired.
+  struct Counters {
+    std::size_t connections = 0;
+    std::size_t short_writes = 0;
+    std::size_t delays = 0;
+    std::size_t disconnects = 0;
+  };
+
+  /// Binds and starts proxying immediately. Throws util::SocketError when
+  /// the listen address cannot be bound.
+  explicit FaultProxy(Options options);
+  ~FaultProxy();  ///< stop() + join all pumps
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The bound listen port.
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Stop accepting, sever every live connection, join the pump threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace creditflow::util

@@ -1,0 +1,117 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace creditflow::util {
+
+namespace {
+
+/// write(2) the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_),
+      fsync_on_append_(other.fsync_on_append_),
+      needs_newline_(other.needs_newline_),
+      path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    fsync_on_append_ = other.fsync_on_append_;
+    needs_newline_ = other.needs_newline_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void AppendFile::open(const std::string& path, bool fsync_on_append) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  CF_EXPECTS_MSG(fd_ >= 0, "cannot open " + path + " for append: " +
+                               std::strerror(errno));
+  path_ = path;
+  fsync_on_append_ = fsync_on_append;
+  needs_newline_ = false;
+  // Peek at the existing tail through a read-only descriptor: an O_APPEND
+  // fd cannot seek-and-read reliably once another writer shares the file.
+  const int probe = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (probe >= 0) {
+    const off_t size = ::lseek(probe, 0, SEEK_END);
+    if (size > 0) {
+      char last = '\n';
+      if (::lseek(probe, size - 1, SEEK_SET) == size - 1 &&
+          ::read(probe, &last, 1) == 1) {
+        needs_newline_ = last != '\n';
+      }
+    }
+    ::close(probe);
+  }
+}
+
+void AppendFile::append_record(std::string_view record) {
+  CF_EXPECTS_MSG(fd_ >= 0, "append_record on a closed AppendFile");
+  std::string buffer;
+  buffer.reserve(record.size() + 2);
+  if (needs_newline_) buffer += '\n';
+  buffer.append(record);
+  buffer += '\n';
+  CF_EXPECTS_MSG(write_all(fd_, buffer.data(), buffer.size()),
+                 "failed appending to " + path_ + ": " +
+                     std::strerror(errno));
+  needs_newline_ = false;
+  if (fsync_on_append_) {
+    CF_EXPECTS_MSG(::fsync(fd_) == 0, "fsync failed on " + path_ + ": " +
+                                          std::strerror(errno));
+  }
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       bool fsync_file) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = write_all(fd, content.data(), content.size());
+  if (ok && fsync_file) ok = ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  if (ok) ok = ::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+}  // namespace creditflow::util

@@ -10,7 +10,9 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -122,6 +124,12 @@ class ServeThread {
     return std::move(results_);
   }
 
+  /// Join a run() expected to throw (crash injection); returns the error.
+  std::string join_error() {
+    thread_.join();
+    return error_;
+  }
+
  private:
   std::vector<RunResult> results_;
   std::string error_;
@@ -137,7 +145,8 @@ class RawClient {
       : socket_(util::Socket::connect("127.0.0.1", port, 5.0)),
         reader_(socket_) {}
 
-  /// HELLO → PLAN; returns the plan the coordinator transmitted.
+  /// HELLO → PLAN; returns the plan the coordinator transmitted. The v2
+  /// header carries the series cadence and this session's resume token.
   SweepPlan handshake() {
     EXPECT_TRUE(socket_.send_all(std::string("HELLO ") +
                                  kSweepProtocolVersion + "\n"));
@@ -145,10 +154,14 @@ class RawClient {
     long long lease_ms = 0;
     std::size_t spec_len = 0;
     std::size_t sweep_len = 0;
-    EXPECT_EQ(std::sscanf(header.c_str(), "PLAN %lld %zu %zu", &lease_ms,
-                          &spec_len, &sweep_len),
-              3)
+    char token[64] = {0};
+    EXPECT_EQ(std::sscanf(header.c_str(), "PLAN %lld %zu %zu %zu %63s",
+                          &lease_ms, &spec_len, &sweep_len, &series_every_,
+                          token),
+              5)
         << header;
+    token_ = token;
+    EXPECT_EQ(token_.size(), 16u) << header;
     std::string spec_text;
     std::string sweep_text;
     EXPECT_EQ(reader_.read_exact(spec_text, spec_len, 5.0),
@@ -159,31 +172,65 @@ class RawClient {
                      SweepSpec::parse(sweep_text));
   }
 
+  /// The session token the coordinator issued in PLAN.
+  [[nodiscard]] const std::string& token() const { return token_; }
+  /// The series cadence announced in PLAN.
+  [[nodiscard]] std::size_t series_every() const { return series_every_; }
+
+  /// RESUME a previous session's token; returns the reclaimed run indices.
+  std::vector<std::size_t> resume(const std::string& token) {
+    const std::string reply = request("RESUME " + token);
+    EXPECT_EQ(reply.rfind("RESUMED ", 0), 0u) << reply;
+    std::vector<std::size_t> indices;
+    std::istringstream in(reply.substr(8));
+    std::size_t count = 0;
+    in >> count;
+    std::size_t idx = 0;
+    while (in >> idx) indices.push_back(idx);
+    EXPECT_EQ(indices.size(), count) << reply;
+    return indices;
+  }
+
   /// Send one line, read one reply line.
   std::string request(const std::string& line) {
     EXPECT_TRUE(socket_.send_all(line + "\n"));
     return read_line();
   }
 
-  /// NEXT until a lease is granted (skipping WAIT); returns the run index.
-  std::size_t lease() {
+  /// NEXT until a lease batch is granted (skipping WAIT); returns all the
+  /// granted run indices.
+  std::vector<std::size_t> lease_batch() {
     for (int attempt = 0; attempt < 100; ++attempt) {
       const std::string reply = request("NEXT");
       if (reply.rfind("RUN ", 0) == 0) {
-        return static_cast<std::size_t>(std::stoull(reply.substr(4)));
+        std::vector<std::size_t> indices;
+        std::istringstream in(reply.substr(4));
+        std::size_t idx = 0;
+        while (in >> idx) indices.push_back(idx);
+        EXPECT_FALSE(indices.empty()) << reply;
+        return indices;
       }
       EXPECT_EQ(reply, "WAIT");
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     ADD_FAILURE() << "no lease granted after 100 attempts";
-    return 0;
+    return {};
   }
 
-  /// Deliver a pre-serialized run record; returns the coordinator's reply
-  /// (OK / DUP / ERR ...).
-  std::string deliver(const std::string& record) {
-    EXPECT_TRUE(socket_.send_all(
-        "RESULT " + std::to_string(record.size()) + "\n" + record));
+  /// lease_batch(), expecting (and returning) a single run index.
+  std::size_t lease() {
+    const auto batch = lease_batch();
+    EXPECT_EQ(batch.size(), 1u);
+    return batch.empty() ? 0 : batch.front();
+  }
+
+  /// Deliver a pre-serialized run record (plus an optional series blob);
+  /// returns the coordinator's reply (OK / DUP / ERR ...).
+  std::string deliver(const std::string& record,
+                      const std::string& series = "") {
+    EXPECT_TRUE(socket_.send_all("RESULT " + std::to_string(record.size()) +
+                                 " " + std::to_string(series.size()) + "\n" +
+                                 record + series));
     return read_line();
   }
 
@@ -199,6 +246,8 @@ class RawClient {
 
   util::Socket socket_;
   util::SocketReader reader_;
+  std::string token_;
+  std::size_t series_every_ = 0;
 };
 
 /// Compute the honest run record a correct worker would deliver for
@@ -571,6 +620,266 @@ TEST(CoordinatorFaults, MismatchedRunKeyIsRejectedNotRecorded) {
   EXPECT_EQ(report.runs_executed, 8u);  // the forgery contributed nothing
   expect_identical(render(tiny_base(), tiny_sweep(), results),
                    render(tiny_base(), tiny_sweep(), reference));
+}
+
+// ---- Protocol v2: RESUME, batched leases, crash recovery -----------------
+
+TEST(CoordinatorResume, VanishedSessionReclaimsItsLeaseViaResume) {
+  const auto reference = reference_results(tiny_base(), tiny_sweep());
+
+  Coordinator::Options options;
+  options.resume_grace_seconds = 30.0;  // reclaim must beat the requeue
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ServeThread serve(coordinator);
+
+  // A session takes a lease, computes the run, and loses its connection
+  // before delivering — then comes back under the same token.
+  std::string token;
+  std::size_t leased = 0;
+  std::string record;
+  {
+    RawClient first(coordinator.port());
+    const SweepPlan plan = first.handshake();
+    token = first.token();
+    leased = first.lease();
+    record = honest_record(plan, leased);
+    first.vanish();
+  }
+  {
+    RawClient returned(coordinator.port());
+    (void)returned.handshake();
+    EXPECT_NE(returned.token(), token);  // fresh connection, fresh token
+    const auto reclaimed = returned.resume(token);
+    ASSERT_EQ(reclaimed.size(), 1u);
+    EXPECT_EQ(reclaimed.front(), leased);
+    // The reclaimed lease is live again: delivering its run is a first
+    // completion, not a duplicate or an expired-lease discard.
+    EXPECT_EQ(returned.deliver(record), "OK");
+    returned.vanish();
+  }
+
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(coordinator.leases_resumed(), 1u);
+  EXPECT_EQ(coordinator.requeued(), 0u);  // nothing was forfeited
+  EXPECT_EQ(coordinator.executed(), 8u);
+  expect_identical(render(tiny_base(), tiny_sweep(), results),
+                   render(tiny_base(), tiny_sweep(), reference));
+}
+
+TEST(CoordinatorResume, UnknownTokenResumesNothing) {
+  Coordinator coordinator(tiny_base(), tiny_sweep(), Coordinator::Options{});
+  ServeThread serve(coordinator);
+  {
+    RawClient client(coordinator.port());
+    (void)client.handshake();
+    // RESUMED 0, not ERR: the worker simply starts fresh.
+    EXPECT_TRUE(client.resume("0123456789abcdef").empty());
+    client.vanish();
+  }
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  (void)serve.join();
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(coordinator.leases_resumed(), 0u);
+}
+
+TEST(Coordinator, AdaptiveLeaseBatchGrowsWithMeasuredThroughput) {
+  Coordinator::Options options;
+  options.lease_batch_max = 4;
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ServeThread serve(coordinator);
+
+  {
+    RawClient client(coordinator.port());
+    const SweepPlan plan = client.handshake();
+    // A fresh connection has no throughput history: the first grant is a
+    // single run, so a straggler's failure forfeits at most one.
+    const auto first = client.lease_batch();
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(client.deliver(honest_record(plan, first.front())), "OK");
+    // One instant completion measures as enormous throughput: the next
+    // grant fills the whole batch ceiling.
+    const auto second = client.lease_batch();
+    EXPECT_EQ(second.size(), 4u);
+    for (const auto idx : second) {
+      EXPECT_EQ(client.deliver(honest_record(plan, idx)), "OK");
+    }
+    client.vanish();
+  }
+
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  (void)serve.join();
+  EXPECT_TRUE(report.completed) << report.error;
+}
+
+TEST(CoordinatorResume, CrashedCoordinatorResumesByteIdenticalToGolden) {
+  // The tentpole contract end to end: a coordinator crash-injected (the
+  // deterministic SIGKILL stand-in) after 3 completions, restarted with
+  // --resume on the same journal + cache, must finish the sweep executing
+  // only the missing runs — and land on the *same pinned golden hashes*
+  // the single-process engine and the uninterrupted distributed sweep do.
+  const ScenarioSpec* preset =
+      ScenarioRegistry::builtin().find("fig11_churn");
+  ASSERT_NE(preset, nullptr);
+  ScenarioSpec spec = *preset;
+  spec.set("horizon", 400.0);
+  spec.set("snapshot_interval", 100.0);
+  SweepSpec sweep;
+  sweep.axes.push_back(SweepAxis::parse("churn.arrival_rate=1,2"));
+  sweep.axes.push_back(SweepAxis::parse("churn.mean_lifespan=100,200"));
+  sweep.seeds = 2;
+
+  const auto dir = scratch_dir("journal_resume");
+  const std::string journal = (dir / "sweep.journal").string();
+  const std::string cache = (dir / "cache").string();
+
+  // Phase 1: crash after the third fresh completion, worker attached.
+  {
+    Coordinator::Options options;
+    options.cache_dir = cache;
+    options.journal_path = journal;
+    options.abort_after_executed = 3;
+    Coordinator coordinator(spec, sweep, options);
+    ServeThread serve(coordinator);
+    WorkerOptions worker_options;
+    worker_options.reconnect = false;  // this worker dies with the crash
+    WorkerReport report;
+    std::thread worker([&] {
+      report = run_worker("127.0.0.1", coordinator.port(), worker_options);
+    });
+    const std::string error = serve.join_error();
+    EXPECT_NE(error.find("injected crash"), std::string::npos) << error;
+    worker.join();
+    EXPECT_FALSE(report.completed);
+    EXPECT_EQ(coordinator.executed(), 3u);
+  }
+
+  // A *fresh* coordinator must refuse the stale journal loudly...
+  {
+    Coordinator::Options options;
+    options.cache_dir = cache;
+    options.journal_path = journal;
+    EXPECT_THROW(Coordinator(spec, sweep, options), util::PreconditionError);
+  }
+
+  // ...and a resumed one recalls the 3 completed runs, re-creates the
+  // orphaned leases, and executes exactly the 5 missing ones.
+  Coordinator::Options options;
+  options.cache_dir = cache;
+  options.journal_path = journal;
+  options.resume = true;
+  options.resume_grace_seconds = 0.2;  // phase 1's worker is not coming back
+  Coordinator coordinator(spec, sweep, options);
+  ServeThread serve(coordinator);
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  const auto results = serve.join();
+
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(coordinator.cache_hits(), 3u);
+  EXPECT_EQ(coordinator.executed(), 5u);
+  EXPECT_GE(coordinator.journal_orphans(), 1u);  // phase 1 died mid-lease
+  ASSERT_EQ(results.size(), 8u);
+
+  ResultSink sink;
+  sink.add_all(results);
+  EXPECT_EQ(util::fnv1a64(sink.aggregate_csv()), 0xbd9622db89f1920bULL);
+  EXPECT_EQ(util::fnv1a64(sink.aggregate_json()), 0x1d7620dbf7cda782ULL);
+  EXPECT_EQ(util::fnv1a64(sink.runs_csv()), 0xc27d93ece3617262ULL);
+}
+
+// ---- Remote series streaming ---------------------------------------------
+
+TEST(Coordinator, RemoteSeriesFilesAreByteIdenticalToLocalExecution) {
+  const auto dir = scratch_dir("remote_series");
+  const SweepPlan plan(tiny_base(), tiny_sweep());
+
+  // Reference: the local thread-pool executor writing its own files.
+  {
+    ThreadPoolExecutor executor;
+    ExecuteOptions exec;
+    exec.jobs = 1;
+    exec.keep_reports = false;
+    exec.series_every = 2;
+    exec.series_out_prefix = (dir / "local").string();
+    std::vector<std::size_t> all(plan.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    (void)executor.execute(plan, all, exec);
+  }
+
+  // Distributed: workers collect the series and stream it back with each
+  // RESULT; the coordinator writes the files.
+  Coordinator::Options options;
+  options.series_every = 2;
+  options.series_out_prefix = (dir / "dist").string();
+  Coordinator coordinator(tiny_base(), tiny_sweep(), options);
+  ServeThread serve(coordinator);
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), WorkerOptions{});
+  });
+  worker.join();
+  (void)serve.join();
+  EXPECT_TRUE(report.completed) << report.error;
+
+  const auto slurp = [](const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  for (std::size_t idx = 0; idx < plan.size(); ++idx) {
+    const std::string suffix = ".run" + std::to_string(idx) + ".csv";
+    const std::string local = slurp(dir / ("local" + suffix));
+    EXPECT_FALSE(local.empty()) << idx;
+    EXPECT_EQ(slurp(dir / ("dist" + suffix)), local) << idx;
+  }
+}
+
+// ---- Worker backoff telemetry --------------------------------------------
+
+TEST(Coordinator, StarvedSessionsReportWaitRetries) {
+  // One run, two sessions: whichever session leases it stalls in a slow
+  // executor while the other polls NEXT → WAIT through the backoff
+  // schedule until DONE. The retries surface in the worker report.
+  SweepSpec one_run;
+  one_run.axes.push_back(SweepAxis::parse("credits=30"));
+  one_run.seeds = 1;
+  Coordinator coordinator(tiny_base(), one_run, Coordinator::Options{});
+  ServeThread serve(coordinator);
+
+  SlowExecutor slow(0.5);
+  WorkerOptions options;
+  options.sessions = 2;
+  options.executor = &slow;
+  WorkerReport report;
+  std::thread worker([&] {
+    report = run_worker("127.0.0.1", coordinator.port(), options);
+  });
+  worker.join();
+  (void)serve.join();
+
+  EXPECT_TRUE(report.completed) << report.error;
+  EXPECT_EQ(report.runs_executed, 1u);
+  EXPECT_GE(report.wait_retries, 1u);
 }
 
 }  // namespace
