@@ -573,6 +573,11 @@ void parse_shard(const std::string& text, SweepCliOptions& cli,
   cli.sharded = true;
 }
 
+/// Single-run mode (defined after main for readability); throws on a
+/// configuration the market constructors reject.
+int run_single(const creditflow::scenario::ScenarioSpec& spec,
+               const SweepCliOptions& cli, bool want_chart);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -632,16 +637,40 @@ int main(int argc, char** argv) {
     } else if (arg == "--print-spec") {
       print_spec = true;
     } else if (arg == "--set") {
+      // Strict value handling: a malformed or out-of-range value is a
+      // failed run (exit 2, one diagnostic line), never a silent clamp or
+      // an unsigned wrap through the raw setter. Only an unknown key is a
+      // usage error.
       const std::string kv = next();
       const auto eq = kv.find('=');
       if (eq == std::string::npos) usage(argv[0]);
-      set_param(kv.substr(0, eq), parse_double(kv.c_str() + eq + 1, argv[0]));
+      const std::string key = kv.substr(0, eq);
+      const std::string value_text = kv.substr(eq + 1);
+      char* end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &end);
+      if (value_text.empty() ||
+          end != value_text.c_str() + value_text.size()) {
+        std::cerr << "--set " << kv << ": value is not a number\n";
+        return 2;
+      }
+      spec_overridden = true;
+      if (const auto err = spec.set_checked(key, value)) {
+        std::cerr << "--set " << kv << ": " << *err << "\n";
+        return err->rfind("unknown parameter", 0) == 0 ? 64 : 2;
+      }
     } else if (arg == "--sweep") {
       try {
         sweep.axes.push_back(scenario::SweepAxis::parse(next()));
       } catch (const util::PreconditionError& e) {
-        std::cerr << e.what() << "\n";
-        return 64;
+        // Same contract as --set: one clean diagnostic line (strip the
+        // assertion preamble), exit 2 for malformed values, 64 for an
+        // unknown key (a usage error).
+        std::string msg = e.what();
+        if (const auto dash = msg.rfind(" — "); dash != std::string::npos) {
+          msg = msg.substr(dash + std::string(" — ").size());
+        }
+        std::cerr << "--sweep: " << msg << "\n";
+        return msg.rfind("unknown sweep parameter", 0) == 0 ? 64 : 2;
       }
     } else if (arg == "--seeds") {
       sweep.seeds =
@@ -848,6 +877,21 @@ int main(int argc, char** argv) {
   }
 
   // ---- Single-run mode (the original market_cli behavior). --------------
+  // A configuration the market rejects (CF_EXPECTS in the constructors) is
+  // a failed run: one diagnostic line and exit 2, not an uncaught throw.
+  try {
+    return run_single(spec, cli, want_chart);
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+namespace {
+
+int run_single(const creditflow::scenario::ScenarioSpec& spec,
+               const SweepCliOptions& cli, bool want_chart) {
+  using namespace creditflow;
   core::MarketConfig run_cfg = spec.materialize();
   if (!cli.series_out.empty()) {
     run_cfg.series_every_rounds = cli.series_every;
@@ -913,3 +957,5 @@ int main(int argc, char** argv) {
   }
   return report.ledger_conserved ? 0 : 2;
 }
+
+}  // namespace

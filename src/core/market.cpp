@@ -98,6 +98,17 @@ MarketReport CreditMarket::run() {
   report.book_bids_posted = metrics.counter("book.bids_posted");
   report.book_bids_matched = metrics.counter("book.bids_matched");
   report.book_bids_expired = metrics.counter("book.bids_expired");
+  report.whitewash_resets = metrics.counter("strat.whitewash_resets");
+  report.whitewash_minted = metrics.counter("strat.whitewash_minted");
+  report.whitewash_burned = metrics.counter("strat.whitewash_burned");
+  report.collusion_transfers = metrics.counter("strat.collusion_transfers");
+  report.collusion_volume = metrics.counter("strat.collusion_volume");
+  report.stake_locked = metrics.counter("strat.stake_locked");
+  report.stake_slashed = metrics.counter("strat.stake_slashed");
+  report.stake_topups = metrics.counter("strat.stake_topups");
+  if (cfg_.protocol.strat.enabled()) {
+    report.final_strategy = protocol_->strategy_breakdown();
+  }
   report.ledger_conserved = protocol_->ledger().audit();
   return report;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "econ/wealth.hpp"
+#include "strategy/strategy.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -55,6 +56,19 @@ struct MarketReport {
   std::uint64_t book_bids_posted = 0;    ///< resting limit bids posted
   std::uint64_t book_bids_matched = 0;   ///< bids cleared by a purchase
   std::uint64_t book_bids_expired = 0;   ///< bids expired on buyer churn
+
+  // Strategy-layer accounting (all zero when strat.* is off).
+  std::uint64_t whitewash_resets = 0;    ///< identity cycles executed
+  std::uint64_t whitewash_minted = 0;    ///< credits re-minted by cycling
+  std::uint64_t whitewash_burned = 0;    ///< balances forfeited to cycle
+  std::uint64_t collusion_transfers = 0; ///< wash transfers executed
+  std::uint64_t collusion_volume = 0;    ///< credits washed in cliques
+  std::uint64_t stake_locked = 0;        ///< credits bonded (incl. topups)
+  std::uint64_t stake_slashed = 0;       ///< bond forfeited to treasury
+  std::uint64_t stake_topups = 0;        ///< revalidation top-up events
+  /// Final per-strategy population/credit breakdown (all-honest when the
+  /// strategy layer is off).
+  strategy::Breakdown final_strategy;
 
   /// Converged Gini estimate: mean over the trailing 25% of the run.
   [[nodiscard]] double converged_gini() const;

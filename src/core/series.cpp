@@ -1,5 +1,6 @@
 #include "core/series.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "econ/gini.hpp"
@@ -13,6 +14,7 @@ RoundSeriesSampler::RoundSeriesSampler(const p2p::StreamingProtocol& protocol,
     : protocol_(protocol),
       book_mode_(protocol.config().market_mode ==
                  p2p::ProtocolConfig::MarketMode::kOrderBook),
+      strat_mode_(protocol.config().strat.enabled()),
       every_rounds_(every_rounds == 0 ? 1 : every_rounds) {
   // Reserve everything up front so on_round never allocates: one row per
   // cadence hit plus slack, and snapshot scratch sized to the peer-slot
@@ -37,10 +39,13 @@ void RoundSeriesSampler::on_round(std::uint64_t round, double t) {
   row.credit_supply = supply;
   row.mean_balance =
       balances_.empty() ? 0.0 : supply / static_cast<double>(balances_.size());
-  // Same zero-supply convention as the snapshot path: a fully-bankrupt
-  // population reads as perfectly equal, not undefined.
-  row.gini_balances =
-      supply > 0.0 ? econ::gini(balances_, gini_scratch_) : 0.0;
+  // Inequality over zero supply is undefined, and 0.0 would read as
+  // "perfectly equal" — emit nan so downstream tooling cannot mistake a
+  // fully-bankrupt population for a fair one. (format_double prints it as
+  // the literal "nan"; the golden-hash pins cover run CSVs, not series.)
+  row.gini_balances = supply > 0.0
+                          ? econ::gini(balances_, gini_scratch_)
+                          : std::numeric_limits<double>::quiet_NaN();
   row.mean_buffer_fill = protocol_.mean_buffer_fill();
 
   if (book_mode_) {
@@ -51,6 +56,20 @@ void RoundSeriesSampler::on_round(std::uint64_t round, double t) {
     row.fill_ratio = stats.fill_ratio;
   }
 
+  if (strat_mode_) {
+    const auto breakdown = protocol_.strategy_breakdown();
+    row.strat_peers = breakdown.population;
+    row.strat_credits = breakdown.credits;
+    row.staked_total = breakdown.staked_total;
+    const auto honest =
+        static_cast<std::size_t>(strategy::Strategy::kHonest);
+    row.honest_fill =
+        breakdown.population[honest] > 0
+            ? breakdown.buffer_fill[honest] /
+                  static_cast<double>(breakdown.population[honest])
+            : 0.0;
+  }
+
   rows_.push_back(row);
 }
 
@@ -59,6 +78,17 @@ std::string RoundSeriesSampler::csv() const {
   out << "round,t,alive_peers,gini_balances,credit_supply,mean_balance,"
          "mean_buffer_fill";
   if (book_mode_) out << ",book_depth,book_spread,clearing_price,fill_ratio";
+  if (strat_mode_) {
+    for (std::size_t s = 0; s < strategy::kNumStrategies; ++s) {
+      out << ",strat_" << strategy::name(static_cast<strategy::Strategy>(s))
+          << "_peers";
+    }
+    for (std::size_t s = 0; s < strategy::kNumStrategies; ++s) {
+      out << ",strat_" << strategy::name(static_cast<strategy::Strategy>(s))
+          << "_credits";
+    }
+    out << ",strat_staked_total,strat_honest_fill";
+  }
   out << '\n';
   for (const RoundSample& row : rows_) {
     out << row.round << ',' << util::format_double(row.t) << ','
@@ -71,6 +101,14 @@ std::string RoundSeriesSampler::csv() const {
           << util::format_double(row.book_spread) << ','
           << util::format_double(row.clearing_price) << ','
           << util::format_double(row.fill_ratio);
+    }
+    if (strat_mode_) {
+      for (const std::size_t n : row.strat_peers) out << ',' << n;
+      for (const double c : row.strat_credits) {
+        out << ',' << util::format_double(c);
+      }
+      out << ',' << util::format_double(row.staked_total) << ','
+          << util::format_double(row.honest_fill);
     }
     out << '\n';
   }

@@ -15,11 +15,13 @@
 // caller-owned snapshot flavors the PR-4 snapshot path uses.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "p2p/protocol.hpp"
+#include "strategy/strategy.hpp"
 
 namespace creditflow::core {
 
@@ -28,7 +30,7 @@ struct RoundSample {
   std::uint64_t round = 0;        ///< 1-based protocol round index
   double t = 0.0;                 ///< simulation time of the round
   std::size_t alive_peers = 0;    ///< availability: peers in the market
-  double gini_balances = 0.0;     ///< wealth inequality (0 when supply 0)
+  double gini_balances = 0.0;     ///< wealth inequality (nan when supply 0)
   double credit_supply = 0.0;     ///< total credits held by alive peers
   double mean_balance = 0.0;      ///< credit_supply / alive_peers
   double mean_buffer_fill = 0.0;  ///< playback-continuity proxy
@@ -38,6 +40,12 @@ struct RoundSample {
   double book_spread = 0.0;       ///< max_ask - min_ask
   double clearing_price = 0.0;    ///< volume/fills of the round
   double fill_ratio = 0.0;        ///< fills / posted quantity of the round
+  // Strategy columns — sampled (and emitted) only when the strategy layer
+  // is enabled; the default-mode CSV header stays pinned.
+  std::array<std::size_t, strategy::kNumStrategies> strat_peers{};
+  std::array<double, strategy::kNumStrategies> strat_credits{};
+  double staked_total = 0.0;  ///< bonded credit outside circulation
+  double honest_fill = 0.0;   ///< mean buffer fill of honest peers only
 };
 
 /// Collects RoundSamples from a live protocol; attach via sample() from
@@ -66,6 +74,7 @@ class RoundSeriesSampler {
  private:
   const p2p::StreamingProtocol& protocol_;
   bool book_mode_ = false;
+  bool strat_mode_ = false;
   std::size_t every_rounds_;
   std::vector<RoundSample> rows_;
   // Scratch for the allocation-free snapshot flavors.

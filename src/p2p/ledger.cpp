@@ -4,7 +4,8 @@
 
 namespace creditflow::p2p {
 
-CreditLedger::CreditLedger(std::size_t max_peers) : balance_(max_peers, 0) {
+CreditLedger::CreditLedger(std::size_t max_peers)
+    : balance_(max_peers, 0), staked_(max_peers, 0) {
   CF_EXPECTS(max_peers > 0);
 }
 
@@ -30,6 +31,41 @@ Credits CreditLedger::collect_tax(PeerId peer, Credits amount) {
   return take;
 }
 
+Credits CreditLedger::lock_stake(PeerId peer, Credits target) {
+  CF_EXPECTS(peer < balance_.size());
+  if (staked_[peer] >= target) return 0;
+  const Credits wanted = target - staked_[peer];
+  const Credits take = wanted < balance_[peer] ? wanted : balance_[peer];
+  balance_[peer] -= take;
+  staked_[peer] += take;
+  staked_total_ += take;
+  return take;
+}
+
+Credits CreditLedger::release_stake(PeerId peer) {
+  CF_EXPECTS(peer < balance_.size());
+  const Credits amount = staked_[peer];
+  staked_[peer] = 0;
+  staked_total_ -= amount;
+  balance_[peer] += amount;
+  return amount;
+}
+
+Credits CreditLedger::slash_stake(PeerId peer, double fraction) {
+  CF_EXPECTS(peer < balance_.size());
+  CF_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  const Credits stake = staked_[peer];
+  if (stake == 0) return 0;
+  auto slashed = static_cast<Credits>(
+      static_cast<double>(stake) * fraction + 0.5);
+  if (slashed > stake) slashed = stake;
+  staked_[peer] = 0;
+  staked_total_ -= stake;
+  treasury_ += slashed;
+  balance_[peer] += stake - slashed;
+  return slashed;
+}
+
 void CreditLedger::redistribute(std::span<const PeerId> recipients) {
   CF_EXPECTS_MSG(treasury_ >= recipients.size(),
                  "treasury cannot cover redistribution");
@@ -47,7 +83,7 @@ Credits CreditLedger::circulating() const {
 }
 
 bool CreditLedger::audit() const {
-  return circulating() + treasury_ == minted_ - burned_;
+  return circulating() + staked_total_ + treasury_ == minted_ - burned_;
 }
 
 std::vector<double> CreditLedger::snapshot(

@@ -2,9 +2,12 @@
 // market flows through here, so conservation is checkable in one place.
 //
 // Closed markets (no churn) mint each peer's initial endowment once and then
-// only transfer; the invariant Σ balances + treasury == minted − burned holds
-// at every instant and is asserted by tests and by audit() calls sprinkled
-// through the protocol.
+// only transfer; the invariant Σ balances + Σ stakes + treasury ==
+// minted − burned holds at every instant and is asserted by tests and by
+// audit() calls sprinkled through the protocol. Stake accounts (the bonded
+// credit behind stake-backed seeding) are part of the money supply: locking
+// moves balance → stake, releasing moves it back, slashing forfeits a
+// fraction to the treasury — none of the three mints or burns.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +50,22 @@ class CreditLedger {
   /// Move credits from a peer into the treasury (taxation); clamps to the
   /// available balance and returns the amount actually collected.
   Credits collect_tax(PeerId peer, Credits amount);
+
+  // ---- Stake accounts (bonded credit, stake-backed seeding) --------------
+  /// Top the peer's stake up toward `target` from its balance (clamped to
+  /// what the balance covers); returns the amount actually locked.
+  Credits lock_stake(PeerId peer, Credits target);
+  /// Return the peer's whole stake to its balance; returns the amount.
+  Credits release_stake(PeerId peer);
+  /// Forfeit `fraction` (rounded) of the peer's stake to the treasury and
+  /// release the remainder to its balance; returns the slashed amount.
+  Credits slash_stake(PeerId peer, double fraction);
+  [[nodiscard]] Credits staked(PeerId peer) const {
+    CF_EXPECTS(peer < balance_.size());
+    return staked_[peer];
+  }
+  [[nodiscard]] Credits total_staked() const { return staked_total_; }
+
   /// Move one credit from the treasury to each peer in `recipients`;
   /// requires treasury >= recipients.size().
   void redistribute(std::span<const PeerId> recipients);
@@ -62,9 +81,10 @@ class CreditLedger {
   [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
   [[nodiscard]] Credits transfer_volume() const { return volume_; }
 
-  /// Sum of all balances (O(n)).
+  /// Sum of all balances (O(n)); excludes bonded stake.
   [[nodiscard]] Credits circulating() const;
-  /// Conservation invariant: circulating + treasury == minted − burned.
+  /// Conservation invariant:
+  /// circulating + total_staked + treasury == minted − burned.
   [[nodiscard]] bool audit() const;
 
   /// Balances as doubles for the econ metrics, restricted to `alive` slots.
@@ -76,6 +96,8 @@ class CreditLedger {
 
  private:
   std::vector<Credits> balance_;
+  std::vector<Credits> staked_;
+  Credits staked_total_ = 0;
   Credits treasury_ = 0;
   Credits minted_ = 0;
   Credits burned_ = 0;

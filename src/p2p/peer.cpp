@@ -16,7 +16,9 @@ PeerTable::PeerTable(std::size_t max_peers, std::size_t window_chunks)
       chunks_uploaded_(max_peers, 0),
       chunks_seeded_(max_peers, 0),
       failed_affordability_(max_peers, 0),
-      failed_availability_(max_peers, 0) {
+      failed_availability_(max_peers, 0),
+      strategy_(max_peers, 0),
+      activations_(max_peers, 0) {
   CF_EXPECTS(max_peers > 0);
   CF_EXPECTS(window_chunks > 0);
   const std::size_t words = BufferMap::words_for(window_chunks);

@@ -13,6 +13,7 @@
 
 #include "p2p/chunk.hpp"
 #include "p2p/ledger.hpp"
+#include "strategy/strategy.hpp"
 #include "util/assert.hpp"
 
 namespace creditflow::p2p {
@@ -127,9 +128,29 @@ class PeerTable {
     return failed_availability_[i];
   }
 
+  /// Behavioral strategy of the slot's occupant (hash-assigned at
+  /// activation; kHonest everywhere when the strategy layer is off).
+  [[nodiscard]] strategy::Strategy strategy(PeerId i) const {
+    return static_cast<strategy::Strategy>(strategy_[i]);
+  }
+  void set_strategy(PeerId i, strategy::Strategy s) {
+    strategy_[i] = static_cast<std::uint8_t>(s);
+  }
+
+  /// How many times this slot has been activated (survives reset_slot —
+  /// the rejoin-mint policy keys off it, so a whitewasher cycling its slot
+  /// cannot reset the count it is trying to exploit).
+  [[nodiscard]] std::uint32_t activations(PeerId i) const {
+    return activations_[i];
+  }
+  /// Increment and return the slot's activation count.
+  std::uint32_t bump_activations(PeerId i) { return ++activations_[i]; }
+
   /// Reset a slot's scalar fields for (re)activation: counters to zero,
   /// lifecycle to [now, ∞). Buffer and capabilities are the caller's to
-  /// set — they depend on RNG draws the caller sequences.
+  /// set — they depend on RNG draws the caller sequences. The strategy tag
+  /// and activation count survive: both are properties of the slot id, not
+  /// of one occupancy.
   void reset_slot(PeerId i, double now);
 
   /// Lifetime average spending rate in credits/sec at time `now`.
@@ -168,6 +189,8 @@ class PeerTable {
   std::vector<std::uint64_t> chunks_seeded_;
   std::vector<std::uint64_t> failed_affordability_;
   std::vector<std::uint64_t> failed_availability_;
+  std::vector<std::uint8_t> strategy_;
+  std::vector<std::uint32_t> activations_;
 };
 
 }  // namespace creditflow::p2p

@@ -101,6 +101,26 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
     CF_EXPECTS(cfg_.churn.mean_lifespan > 0.0);
     CF_EXPECTS(cfg_.churn.join_links >= 1);
   }
+  CF_EXPECTS(cfg_.churn.rejoin_mint_decay >= 0.0);
+  CF_EXPECTS(cfg_.churn.rejoin_mint_decay <= 1.0);
+  if (cfg_.strat.enabled()) {
+    const auto& st = cfg_.strat;
+    CF_EXPECTS(st.free_rider_fraction >= 0.0 && st.free_rider_fraction <= 1.0);
+    CF_EXPECTS(st.whitewash_fraction >= 0.0 && st.whitewash_fraction <= 1.0);
+    CF_EXPECTS(st.collude_fraction >= 0.0 && st.collude_fraction <= 1.0);
+    CF_EXPECTS(st.staked_fraction >= 0.0 && st.staked_fraction <= 1.0);
+    CF_EXPECTS_MSG(st.free_rider_fraction + st.whitewash_fraction +
+                           st.collude_fraction + st.staked_fraction <=
+                       1.0 + 1e-9,
+                   "strategy fractions exceed the population");
+    CF_EXPECTS(st.whitewash_threshold >= 0.0);
+    CF_EXPECTS(st.collude_clique >= 2);
+    CF_EXPECTS(st.stake_slash >= 0.0 && st.stake_slash <= 1.0);
+    CF_EXPECTS(st.revalidate_rounds >= 1);
+    strat_enabled_ = true;
+    if (st.collude_fraction > 0.0) colluder_scratch_.reserve(cfg_.max_peers);
+    if (st.staked_fraction > 0.0) staked_scratch_.reserve(cfg_.max_peers);
+  }
   if (cfg_.weight_sellers_by_fill) {
     cfg_.seller_choice = ProtocolConfig::SellerChoice::kFillWeighted;
   }
@@ -139,6 +159,14 @@ StreamingProtocol::StreamingProtocol(ProtocolConfig config,
   phase_two_word_ct_ = metrics_.counter_cell("purchase.phase_two_word");
   phase_generic_ct_ = metrics_.counter_cell("purchase.phase_generic");
   overlay_edges_dropped_ = metrics_.counter_cell("overlay.edges_dropped");
+  whitewash_resets_ = metrics_.counter_cell("strat.whitewash_resets");
+  whitewash_minted_ = metrics_.counter_cell("strat.whitewash_minted");
+  whitewash_burned_ = metrics_.counter_cell("strat.whitewash_burned");
+  collusion_transfers_ = metrics_.counter_cell("strat.collusion_transfers");
+  collusion_volume_ = metrics_.counter_cell("strat.collusion_volume");
+  stake_locked_ = metrics_.counter_cell("strat.stake_locked");
+  stake_slashed_ = metrics_.counter_cell("strat.stake_slashed");
+  stake_topups_ = metrics_.counter_cell("strat.stake_topups");
   book_asks_posted_ = metrics_.counter_cell("book.asks_posted");
   book_posted_qty_ = metrics_.counter_cell("book.posted_qty");
   book_fills_ = metrics_.counter_cell("book.fills");
@@ -186,8 +214,32 @@ ChunkId StreamingProtocol::stream_head() const {
          cfg_.window_chunks;
 }
 
-void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
+Credits StreamingProtocol::rejoin_grant(std::uint32_t activation) const {
+  // First occupancy of a slot always receives the full endowment; only a
+  // re-activation of a previously used slot is subject to the rejoin-mint
+  // policy (the whitewash loophole made an explicit knob).
+  if (activation <= 1) return cfg_.initial_credits;
+  switch (cfg_.churn.rejoin_mint) {
+    case ChurnConfig::RejoinMint::kFull:
+      return cfg_.initial_credits;
+    case ChurnConfig::RejoinMint::kNone:
+      return 0;
+    case ChurnConfig::RejoinMint::kDecayed: {
+      const double decayed =
+          static_cast<double>(cfg_.initial_credits) *
+          std::pow(cfg_.churn.rejoin_mint_decay,
+                   static_cast<double>(activation - 1));
+      return static_cast<Credits>(std::llround(decayed));
+    }
+  }
+  return cfg_.initial_credits;
+}
+
+Credits StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
   peers_.set_alive(id, true);
+  const std::uint32_t activation = peers_.bump_activations(id);
+  peers_.set_strategy(id, strat_enabled_ ? strategy::assign(id, cfg_.strat)
+                                         : strategy::Strategy::kHonest);
   peers_.reset_slot(id, now);
   peers_.set_upload_capacity(
       id, cfg_.heterogeneity.upload_capacity_cv > 0.0
@@ -215,7 +267,15 @@ void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
       }
     }
   }
-  ledger_.mint(id, cfg_.initial_credits);
+  const Credits grant = rejoin_grant(activation);
+  ledger_.mint(id, grant);
+  if (strat_enabled_ &&
+      peers_.strategy(id) == strategy::Strategy::kStakedSeeder &&
+      cfg_.strat.stake_amount > 0) {
+    // Stake-bonded seeders lock part of their endowment on arrival; the
+    // bond gates ask posting and is slashed on departure.
+    *stake_locked_ += ledger_.lock_stake(id, cfg_.strat.stake_amount);
+  }
   if (book_ != nullptr) {
     // Recycled-slot hygiene: the previous occupant's market state (resting
     // orders, learned price) must not leak into the arrival.
@@ -226,6 +286,7 @@ void StreamingProtocol::activate_peer(PeerId id, double now, bool initial) {
     book_sold_[id] = 0;
   }
   (void)initial;
+  return grant;
 }
 
 void StreamingProtocol::start() {
@@ -313,6 +374,12 @@ void StreamingProtocol::handle_departure(PeerId id, double now) {
   const util::TraceSpan span("churn.departure", "churn", "peer", id);
   CF_EXPECTS(peers_.alive(id));
   (void)now;
+  if (strat_enabled_ && ledger_.staked(id) > 0) {
+    // Bond resolution precedes the exit burn: the slashed share moves to
+    // the treasury, the remainder is released to the balance and leaves
+    // with the peer below. Supply stays conserved either way.
+    *stake_slashed_ += ledger_.slash_stake(id, cfg_.strat.stake_slash);
+  }
   // The departing peer takes its credits out of the market.
   const Credits taken = ledger_.burn_all(id);
   ++*churn_departures_;
@@ -339,8 +406,32 @@ void StreamingProtocol::seed_new_chunks(double now, ChunkId head) {
                 cfg_.window_chunks;
   const std::span<const PeerId> alive = overlay_.active_peers();
   if (alive.empty()) return;
+  // Stake-bonded seeders advertise themselves to the source: peers whose
+  // bond is fully posted form a priority pool that receives the first copy
+  // of every fresh chunk, which is what the stake buys.
+  const bool staked_priority =
+      strat_enabled_ && cfg_.strat.staked_fraction > 0.0;
+  if (staked_priority) {
+    staked_scratch_.clear();
+    for (const PeerId id : alive) {
+      if (peers_.strategy(id) == strategy::Strategy::kStakedSeeder &&
+          (cfg_.strat.stake_amount == 0 ||
+           ledger_.staked(id) >= cfg_.strat.stake_amount)) {
+        staked_scratch_.push_back(id);
+      }
+    }
+  }
   for (ChunkId c = prev_head; c < head; ++c) {
     for (std::size_t k = 0; k < cfg_.seed_fanout; ++k) {
+      if (k == 0 && staked_priority && !staked_scratch_.empty()) {
+        const PeerId bonded =
+            staked_scratch_[rng_.uniform_index(staked_scratch_.size())];
+        if (peers_.buffer(bonded).set(c)) {
+          owner_index_.on_gain(bonded, c);
+          ++peers_.chunks_seeded(bonded);
+        }
+        continue;
+      }
       // Deficit-based seeding: the source prefers starving peers — sample a
       // few candidates and push to the emptiest buffer, the way a
       // server-assisted swarm directs its own upload where the swarm is
@@ -386,6 +477,18 @@ void StreamingProtocol::run_round(double now) {
   // one store per round) so pool exhaustion shows up in telemetry.
   *overlay_edges_dropped_ = overlay_.edges_dropped();
 
+  // 1a. Strategy layer: free-riders contribute nothing (budget zeroed
+  // before asks are posted or purchases served), and staked seeders get a
+  // periodic chance to top a partially funded bond back up to target.
+  if (strat_enabled_ && cfg_.strat.free_rider_fraction > 0.0) {
+    strategy_zero_free_rider_budgets();
+  }
+  if (strat_enabled_ && cfg_.strat.staked_fraction > 0.0 &&
+      cfg_.strat.stake_amount > 0 &&
+      rounds_ % cfg_.strat.revalidate_rounds == 0) {
+    strategy_revalidate_stakes();
+  }
+
   // 1b. Order-book market: sellers post this round's asks before anyone
   // buys (quantity = fresh upload budget, price per the ask policy).
   if (book_ != nullptr) {
@@ -419,6 +522,12 @@ void StreamingProtocol::run_round(double now) {
                                    .count();
   }
 
+  // 3b. Collusive cliques wash credits among themselves after the honest
+  // trading phase (the laundering rides on top of real trade state).
+  if (strat_enabled_ && cfg_.strat.collude_fraction > 0.0) {
+    strategy_collusion_round();
+  }
+
   // 4. Taxation redistribution when the treasury is full enough.
   if (cfg_.tax.enabled && overlay_.num_active() > 0) {
     const util::TraceSpan span("tax", "phase");
@@ -430,6 +539,13 @@ void StreamingProtocol::run_round(double now) {
     tax_phase_seconds_ += std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - tax_start)
                               .count();
+  }
+
+  // 4b. Whitewashers check their balance after taxes settle and cycle
+  // their identity when broke — a real departure plus a real re-arrival,
+  // exploiting whatever the rejoin-mint policy grants.
+  if (strat_enabled_ && cfg_.strat.whitewash_fraction > 0.0) {
+    strategy_whitewash_round(now);
   }
 
   // Book readouts for the series sampler: state at round end, flow over
@@ -449,6 +565,92 @@ void StreamingProtocol::run_round(double now) {
   }
 
   if (round_hook_) round_hook_(rounds_, now);
+}
+
+void StreamingProtocol::strategy_zero_free_rider_budgets() {
+  for (const PeerId id : round_order_) {
+    if (peers_.strategy(id) == strategy::Strategy::kFreeRider) {
+      upload_budget_[id] = 0.0;
+    }
+  }
+}
+
+void StreamingProtocol::strategy_revalidate_stakes() {
+  for (const PeerId id : overlay_.active_peers()) {
+    if (peers_.strategy(id) != strategy::Strategy::kStakedSeeder) continue;
+    const Credits moved = ledger_.lock_stake(id, cfg_.strat.stake_amount);
+    if (moved > 0) {
+      *stake_locked_ += moved;
+      ++*stake_topups_;
+    }
+  }
+}
+
+void StreamingProtocol::strategy_collusion_round() {
+  // Deterministic ring transfers inside fixed cliques: colluders (in slot
+  // order) are chopped into groups of collude_clique, and each member
+  // passes collude_amount to the next around the ring. The wash trades
+  // bypass the trade path entirely — no tax is collected and no trace is
+  // emitted, which is exactly the evasion being modeled. Each member's
+  // earned/spent counters inflate symmetrically, faking contribution.
+  colluder_scratch_.clear();
+  for (const PeerId id : overlay_.active_peers()) {
+    if (peers_.strategy(id) == strategy::Strategy::kColluder) {
+      colluder_scratch_.push_back(id);
+    }
+  }
+  const std::size_t k = cfg_.strat.collude_clique;
+  const Credits amt = cfg_.strat.collude_amount;
+  for (std::size_t base = 0; base + k <= colluder_scratch_.size();
+       base += k) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const PeerId from = colluder_scratch_[base + i];
+      const PeerId to = colluder_scratch_[base + (i + 1) % k];
+      if (!ledger_.transfer(from, to, amt)) continue;
+      peers_.credits_spent(from) += amt;
+      peers_.credits_earned(to) += amt;
+      ++*collusion_transfers_;
+      *collusion_volume_ += amt;
+    }
+  }
+}
+
+void StreamingProtocol::strategy_whitewash_round(double now) {
+  // round_order_ is a stable copy of the round's alive set, so departing
+  // and re-activating peers mid-iteration is safe. A reset is a genuine
+  // departure (burn, overlay leave, churn counters) followed by a genuine
+  // re-arrival into the same slot — the activation count survives, so the
+  // rejoin-mint policy sees through the identity cycling. Under churn the
+  // rejoined peer inherits the slot's pending lifespan timer; the earlier
+  // of its own exit and that timer removes it, which only shortens the
+  // attacker's tenure.
+  for (const PeerId id : round_order_) {
+    if (!peers_.alive(id)) continue;
+    if (peers_.strategy(id) != strategy::Strategy::kWhitewasher) continue;
+    const Credits bal = ledger_.balance(id);
+    if (static_cast<double>(bal) >= cfg_.strat.whitewash_threshold) continue;
+    // Rational attacker: cycling is only worth it when the regrant beats
+    // the balance forfeited at departure.
+    if (rejoin_grant(peers_.activations(id) + 1) <= bal) continue;
+    *whitewash_burned_ += bal;
+    handle_departure(id, now);
+    const Credits granted = activate_peer(id, now, /*initial=*/false);
+    overlay_.join(id, cfg_.churn.join_links, rng_);
+    *whitewash_minted_ += granted;
+    ++*whitewash_resets_;
+  }
+}
+
+strategy::Breakdown StreamingProtocol::strategy_breakdown() const {
+  strategy::Breakdown b;
+  for (const PeerId id : overlay_.active_peers()) {
+    const auto s = static_cast<std::size_t>(peers_.strategy(id));
+    ++b.population[s];
+    b.credits[s] += static_cast<double>(ledger_.balance(id));
+    b.buffer_fill[s] += peers_.buffer(id).fill();
+  }
+  b.staked_total = static_cast<double>(ledger_.total_staked());
+  return b;
 }
 
 void StreamingProtocol::book_post_asks() {
@@ -471,6 +673,19 @@ void StreamingProtocol::book_post_asks() {
   }
   for (const PeerId id : overlay_.active_peers()) {
     if (!is_book_seller(id)) continue;
+    if (strat_enabled_) {
+      const auto s = peers_.strategy(id);
+      if (s == strategy::Strategy::kFreeRider) continue;
+      if (s == strategy::Strategy::kStakedSeeder &&
+          cfg_.strat.stake_amount > 0 &&
+          ledger_.staked(id) < cfg_.strat.stake_amount) {
+        // Advertising is gated on a fully posted bond; an underfunded
+        // seeder's resting ask expires rather than standing as supply it
+        // has not bonded for.
+        if (book_->cancel_ask(id)) ++*book_asks_expired_;
+        continue;
+      }
+    }
     const auto qty = static_cast<std::uint32_t>(upload_budget_[id]);
     if (qty == 0) {
       // No capacity to offer this round: an ask left resting would be

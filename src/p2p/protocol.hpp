@@ -35,6 +35,7 @@
 #include "p2p/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "strategy/strategy.hpp"
 #include "util/rng.hpp"
 
 namespace creditflow::p2p {
@@ -45,6 +46,21 @@ struct ChurnConfig {
   double arrival_rate = 1.0;    ///< peers per second (Poisson)
   double mean_lifespan = 500.0; ///< seconds (exponential)
   std::size_t join_links = 10;  ///< preferential-attachment links per join
+
+  /// Mint-on-(re)arrival policy. Historically every arrival minted the
+  /// full `initial_credits` endowment while every departure burned the
+  /// balance — which makes leave/rejoin a free debt reset (the whitewash
+  /// loophole). The policy is now explicit, keyed on the *slot's*
+  /// activation count (the only identity the open market has):
+  ///  * kFull    — every activation mints initial_credits (the historical
+  ///    behavior; byte-identical default).
+  ///  * kNone    — only a slot's first activation mints; recycled slots
+  ///    arrive broke.
+  ///  * kDecayed — activation k mints
+  ///    round(initial_credits * rejoin_mint_decay^(k-1)).
+  enum class RejoinMint { kFull = 0, kNone = 1, kDecayed = 2 };
+  RejoinMint rejoin_mint = RejoinMint::kFull;
+  double rejoin_mint_decay = 0.5;  ///< per-reactivation decay for kDecayed
 };
 
 /// Heterogeneity of peer capabilities — the lever that makes the utilization
@@ -191,6 +207,9 @@ struct ProtocolConfig {
   econ::TaxPolicy tax;
   ChurnConfig churn;
   HeterogeneityConfig heterogeneity;
+  /// Strategic-agent populations (all zero ⇒ the honest-only market,
+  /// byte-identical to every pre-strategy build).
+  strategy::StrategyConfig strat;
 
   std::uint64_t seed = 42;
 };
@@ -253,6 +272,14 @@ class StreamingProtocol {
   /// is live: the registry zeroes counter cells in place, so the hot
   /// loop's cached cell pointers stay valid (counters restart from zero).
   [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
+
+  /// The slot's behavioral strategy (kHonest everywhere when strat is off).
+  [[nodiscard]] strategy::Strategy strategy_of(PeerId id) const {
+    return peers_.strategy(id);
+  }
+  /// Per-strategy population/credit/availability readout over the alive
+  /// set, plus total bonded stake. Pure readout, allocation-free.
+  [[nodiscard]] strategy::Breakdown strategy_breakdown() const;
 
   /// Balances of alive peers (order matches alive_peers()).
   [[nodiscard]] std::vector<double> balance_snapshot() const;
@@ -362,7 +389,18 @@ class StreamingProtocol {
   void schedule_next_arrival();
   void handle_arrival(double now);
   void handle_departure(PeerId id, double now);
-  void activate_peer(PeerId id, double now, bool initial);
+  /// (Re)activate a slot; returns the credits minted into it (the
+  /// rejoin-mint policy decides how much a recycled slot still gets).
+  Credits activate_peer(PeerId id, double now, bool initial);
+  /// Credits the rejoin-mint policy grants a slot's `activation`-th
+  /// activation (1-based; activation 1 always gets the full endowment).
+  [[nodiscard]] Credits rejoin_grant(std::uint32_t activation) const;
+  // Strategy-layer round phases (each a no-op unless the corresponding
+  // population is configured; none consumes RNG when off).
+  void strategy_zero_free_rider_budgets();
+  void strategy_collusion_round();
+  void strategy_whitewash_round(double now);
+  void strategy_revalidate_stakes();
 
   ProtocolConfig cfg_;
   sim::Simulator& sim_;
@@ -406,6 +444,14 @@ class StreamingProtocol {
   /// Buyer's neighbor list, materialized once per purchase phase from the
   /// overlay's edge-pool chain (allocation-free at high-water capacity).
   std::vector<PeerId> neighbor_scratch_;
+  /// Strategy-phase scratch (reserved to max_peers at construction when the
+  /// corresponding population is configured, so the round loop stays
+  /// allocation-free with strategies live).
+  std::vector<PeerId> colluder_scratch_;
+  std::vector<PeerId> staked_scratch_;
+  /// Cached cfg_.strat.enabled(): the single branch every strategy hook
+  /// sits behind in the default (all-honest) path.
+  bool strat_enabled_ = false;
   ChunkId phase_base_ = 0;          ///< current phase's window base
   std::size_t phase_base_slot_ = 0; ///< its ring slot (one divide per phase)
   /// Current phase fits the single-word fast path: the window is ≤ 64
@@ -443,6 +489,15 @@ class StreamingProtocol {
   // the registry each round, so capacity pressure lands in run telemetry
   // instead of only a warn-once stderr line.
   std::uint64_t* overlay_edges_dropped_ = nullptr;
+  // Strategy-layer accounting (incremented only when strat is enabled).
+  std::uint64_t* whitewash_resets_ = nullptr;
+  std::uint64_t* whitewash_minted_ = nullptr;
+  std::uint64_t* whitewash_burned_ = nullptr;
+  std::uint64_t* collusion_transfers_ = nullptr;
+  std::uint64_t* collusion_volume_ = nullptr;
+  std::uint64_t* stake_locked_ = nullptr;
+  std::uint64_t* stake_slashed_ = nullptr;
+  std::uint64_t* stake_topups_ = nullptr;
   // Order-book accounting (incremented only in kOrderBook mode).
   std::uint64_t* book_asks_posted_ = nullptr;
   std::uint64_t* book_posted_qty_ = nullptr;

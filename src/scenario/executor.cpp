@@ -133,6 +133,42 @@ std::vector<std::pair<std::string, double>> standard_metrics(
     m.emplace_back("book_bids_matched",
                    static_cast<double>(report.book_bids_matched));
   }
+
+  // Strategy-layer readouts — same gating discipline as the book block:
+  // with strat.* at defaults the metric vector stays byte-identical.
+  if (cfg.protocol.strat.enabled()) {
+    const auto& fs = report.final_strategy;
+    const auto honest =
+        static_cast<std::size_t>(strategy::Strategy::kHonest);
+    const double total_credits = fs.total_credits();
+    m.emplace_back("whitewash_resets",
+                   static_cast<double>(report.whitewash_resets));
+    // Net credit the cycling attack extracted from the mint.
+    m.emplace_back("whitewash_extracted",
+                   static_cast<double>(report.whitewash_minted) -
+                       static_cast<double>(report.whitewash_burned));
+    m.emplace_back("collusion_volume",
+                   static_cast<double>(report.collusion_volume));
+    m.emplace_back("stake_locked",
+                   static_cast<double>(report.stake_locked));
+    m.emplace_back("stake_slashed",
+                   static_cast<double>(report.stake_slashed));
+    m.emplace_back("honest_peers",
+                   static_cast<double>(fs.population[honest]));
+    m.emplace_back("attacker_peers", static_cast<double>(fs.attackers()));
+    m.emplace_back("honest_credit_share",
+                   total_credits > 0.0 ? fs.credits[honest] / total_credits
+                                       : 0.0);
+    m.emplace_back("attacker_credit_share",
+                   total_credits > 0.0
+                       ? fs.attacker_credits() / total_credits
+                       : 0.0);
+    m.emplace_back("honest_fill",
+                   fs.population[honest] > 0
+                       ? fs.buffer_fill[honest] /
+                             static_cast<double>(fs.population[honest])
+                       : 0.0);
+  }
   return m;
 }
 

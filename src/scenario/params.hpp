@@ -7,6 +7,7 @@
 // added here is immediately sweepable, serializable, and scriptable.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,12 +17,31 @@
 
 namespace creditflow::scenario {
 
-/// One addressable parameter: name, doc line, and typed accessors.
+/// One addressable parameter: name, doc line, typed accessors, and a value
+/// kind that defines what inputs are well-formed. Setters historically did
+/// raw static_casts, so a negative count silently wrapped to a huge
+/// unsigned — the kind lets every entry reject malformed values with a
+/// diagnostic instead.
 struct ParamDesc {
+  enum class Kind : std::uint8_t {
+    kReal,      ///< any finite double
+    kCount,     ///< finite integer-valued, >= 0 (unsigned field behind it)
+    kFraction,  ///< finite, in [0, 1]
+    kBool,      ///< exactly 0 or 1
+    kEnum,      ///< integer-valued code in [0, enum_max]
+  };
+
   std::string_view key;
   std::string_view doc;
   double (*get)(const core::MarketConfig&);
   void (*set)(core::MarketConfig&, double);
+  Kind kind = Kind::kReal;
+  double enum_max = 0.0;  ///< highest valid code (kEnum only)
+
+  /// Empty string when `value` is well-formed for this parameter; a
+  /// one-line diagnostic ("peers: count must be a non-negative integer,
+  /// got -5") otherwise.
+  [[nodiscard]] std::string check(double value) const;
 };
 
 /// The full parameter table in canonical (serialization) order. Order
@@ -34,8 +54,13 @@ struct ParamDesc {
 [[nodiscard]] const ParamDesc* find_param(std::string_view key);
 
 /// Set one named parameter. Returns false (config untouched) for unknown
-/// keys.
+/// keys. Performs no value validation — see set_param_checked.
 bool apply_param(core::MarketConfig& cfg, std::string_view key, double value);
+
+/// Validate-then-set: returns a one-line diagnostic for unknown keys or
+/// malformed values (config untouched), nullopt on success.
+[[nodiscard]] std::optional<std::string> set_param_checked(
+    core::MarketConfig& cfg, std::string_view key, double value);
 
 /// Read one named parameter; nullopt for unknown keys.
 [[nodiscard]] std::optional<double> read_param(const core::MarketConfig& cfg,

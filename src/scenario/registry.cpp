@@ -210,6 +210,74 @@ ScenarioRegistry make_builtin() {
     reg.add(std::move(spec));
   }
 
+  {
+    // adv01: free-riders in the closed asymmetric market — consume-only
+    // peers never upload (and never post asks), so the honest majority
+    // carries the full serving load. Sweep strat.free_riders over e.g.
+    // {0, 0.1, 0.2, 0.3, 0.5} and read honest_fill / attacker_credit_share
+    // against converged_gini.
+    auto spec = paper_asymmetric(
+        "adv01_freeride",
+        "Adversarial: free-rider fraction vs availability and Gini; sweep "
+        "strat.free_riders.",
+        400, 100, 8000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 20.0;
+    spec.config.protocol.strat.free_rider_fraction = 0.2;
+    reg.add(std::move(spec));
+  }
+  {
+    // adv02: whitewashers in the open (churn) market — the rejoin-mint
+    // loophole under attack. Each attacker burns its residual balance,
+    // departs, and re-arrives freshly endowed whenever it goes broke;
+    // whitewash_extracted measures the net credit pulled from the mint.
+    // Sweep strat.whitewashers (and churn.rejoin_mint 0..2 to watch the
+    // policy close the loophole).
+    auto spec = paper_asymmetric(
+        "adv02_whitewash",
+        "Adversarial: whitewasher identity cycling under churn; sweep "
+        "strat.whitewashers and churn.rejoin_mint.",
+        500, 100, 8000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 20.0;
+    spec.config.protocol.churn.enabled = true;
+    spec.config.protocol.churn.arrival_rate = 1.0;
+    spec.config.protocol.churn.mean_lifespan = 500.0;
+    spec.config.protocol.max_peers = 2048;
+    spec.config.protocol.strat.whitewash_fraction = 0.2;
+    spec.config.protocol.strat.whitewash_threshold = 10.0;
+    reg.add(std::move(spec));
+  }
+  {
+    // adv03: the stake defense in the order-book market under churn —
+    // bonded seeders get seeding priority and exclusive asks, whitewashers
+    // still cycle, and early departure slashes the bond to the treasury.
+    // Sweep strat.staked (or strat.stake_amount) against honest_fill and
+    // stake_slashed to price the bond.
+    auto spec = paper_asymmetric(
+        "adv03_stake",
+        "Adversarial defense: stake-bonded seeders vs whitewashers in the "
+        "order-book market; sweep strat.staked.",
+        400, 100, 8000.0);
+    spec.config.snapshot_interval = spec.config.horizon / 20.0;
+    spec.config.protocol.market_mode =
+        p2p::ProtocolConfig::MarketMode::kOrderBook;
+    spec.config.protocol.book.ask_pricing =
+        p2p::ProtocolConfig::OrderBookConfig::AskPricing::kFixedMarkup;
+    spec.config.protocol.book.ask_markup = 1.0;
+    spec.config.protocol.book.base_price = 1;
+    spec.config.protocol.book.max_price = 16;
+    spec.config.protocol.churn.enabled = true;
+    spec.config.protocol.churn.arrival_rate = 0.5;
+    spec.config.protocol.churn.mean_lifespan = 500.0;
+    spec.config.protocol.max_peers = 1536;
+    spec.config.protocol.strat.whitewash_fraction = 0.1;
+    spec.config.protocol.strat.whitewash_threshold = 10.0;
+    spec.config.protocol.strat.staked_fraction = 0.2;
+    spec.config.protocol.strat.stake_amount = 25;
+    spec.config.protocol.strat.stake_slash = 0.5;
+    spec.config.protocol.strat.revalidate_rounds = 16;
+    reg.add(std::move(spec));
+  }
+
   return reg;
 }
 

@@ -40,6 +40,19 @@ bool ScenarioSpec::set(std::string_view key, double value) {
   return apply_param(config, key, value);
 }
 
+std::optional<std::string> ScenarioSpec::set_checked(std::string_view key,
+                                                     double value) {
+  if (key == "warmup") {
+    if (!(value >= 0.0 && value <= 1.0)) {
+      return "warmup: fraction must be in [0, 1], got " +
+             util::format_double(value);
+    }
+    warmup_fraction = value;
+    return std::nullopt;
+  }
+  return set_param_checked(config, key, value);
+}
+
 std::optional<double> ScenarioSpec::get(std::string_view key) const {
   if (key == "warmup") return warmup_fraction;
   return read_param(config, key);

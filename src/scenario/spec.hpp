@@ -41,6 +41,10 @@ struct ScenarioSpec {
   /// other keys resolve through the scenario parameter table. Returns
   /// false for unknown keys.
   bool set(std::string_view key, double value);
+  /// Validate-then-set flavor: returns a one-line diagnostic for unknown
+  /// keys or malformed values (spec untouched), nullopt on success.
+  [[nodiscard]] std::optional<std::string> set_checked(std::string_view key,
+                                                       double value);
   /// Read one parameter by key (same namespace as set()).
   [[nodiscard]] std::optional<double> get(std::string_view key) const;
 

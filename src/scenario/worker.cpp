@@ -131,7 +131,7 @@ bool Session::io_request(const std::string& message, std::string& reply) {
   return true;
 }
 
-bool Session::attempt(bool resuming, std::string& hard_error) {
+bool Session::attempt(bool /*resuming*/, std::string& hard_error) {
   reader_.reset();
   socket_.close();
   try {

@@ -1,0 +1,36 @@
+#include "strategy/strategy.hpp"
+
+namespace creditflow::strategy {
+
+std::string_view name(Strategy s) {
+  switch (s) {
+    case Strategy::kHonest: return "honest";
+    case Strategy::kFreeRider: return "freeride";
+    case Strategy::kWhitewasher: return "whitewash";
+    case Strategy::kColluder: return "collude";
+    case Strategy::kStakedSeeder: return "staked";
+  }
+  return "unknown";
+}
+
+Strategy assign(std::uint32_t id, const StrategyConfig& cfg) {
+  // Murmur3 fmix64 over the slot id. Same shape as the order-book's
+  // is_book_seller hash but different multipliers, so the attacker set and
+  // the seller set are statistically independent partitions of the slots.
+  std::uint64_t h = (static_cast<std::uint64_t>(id) + 1) * 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  const double u = static_cast<double>(h & 0xFFFFFF) / 16777216.0;
+  double edge = cfg.free_rider_fraction;
+  if (u < edge) return Strategy::kFreeRider;
+  edge += cfg.whitewash_fraction;
+  if (u < edge) return Strategy::kWhitewasher;
+  edge += cfg.collude_fraction;
+  if (u < edge) return Strategy::kColluder;
+  edge += cfg.staked_fraction;
+  if (u < edge) return Strategy::kStakedSeeder;
+  return Strategy::kHonest;
+}
+
+}  // namespace creditflow::strategy

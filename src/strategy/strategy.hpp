@@ -1,0 +1,98 @@
+// CreditFlow: the per-peer strategy layer — the paper's sustainability
+// question made testable. Every peer carries a compact strategy tag
+// (SoA byte array in PeerTable) assigned by a deterministic per-slot hash,
+// so the attacker population is a pure function of configuration: zero RNG
+// draws, stable under churn and slot reuse, and byte-identical to the
+// honest-only market when every attacker fraction is zero.
+//
+// Strategies (the attack/defense matrix from Goyal et al. and Park & van
+// der Schaar, see PAPERS.md):
+//  * honest        — the paper's price-taking agent (default).
+//  * free-rider    — consume-only: zero upload budget, never posts asks.
+//  * whitewasher   — departs when its balance drops under a threshold and
+//    rejoins immediately to re-mint the join endowment (the real
+//    rejoin-mint loophole in the churn path, exercised deliberately).
+//  * colluder      — credit-loop cliques: colluders wash credits around a
+//    ring each round to inflate their apparent contribution counters.
+//  * staked seeder — the defense: locks credit as a bond to advertise;
+//    the stake is slashed on departure and revalidated periodically.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace creditflow::strategy {
+
+enum class Strategy : std::uint8_t {
+  kHonest = 0,
+  kFreeRider = 1,
+  kWhitewasher = 2,
+  kColluder = 3,
+  kStakedSeeder = 4,
+};
+
+inline constexpr std::size_t kNumStrategies = 5;
+
+/// Stable lowercase name for metrics/series column labels.
+[[nodiscard]] std::string_view name(Strategy s);
+
+/// Strategy-population configuration. Fractions partition the peer-slot id
+/// space (free-rider, whitewasher, colluder, staked, remainder honest);
+/// they must sum to at most 1.
+struct StrategyConfig {
+  double free_rider_fraction = 0.0;
+  double whitewash_fraction = 0.0;
+  /// Whitewashers reset when balance < threshold AND the rejoin mint would
+  /// exceed the balance they abandon (rational attackers don't reset into
+  /// a loss under rejoin_mint = none/decayed).
+  double whitewash_threshold = 10.0;
+  double collude_fraction = 0.0;
+  std::size_t collude_clique = 4;     ///< ring size of each credit loop
+  std::uint64_t collude_amount = 1;   ///< credits passed per hop per round
+  double staked_fraction = 0.0;
+  std::uint64_t stake_amount = 0;     ///< bond locked to advertise
+  double stake_slash = 0.5;           ///< fraction forfeited on departure
+  std::size_t revalidate_rounds = 16; ///< stake top-up cadence
+
+  /// Any non-honest population configured. Gates every strategy hook in
+  /// the protocol: when false the round loop takes the exact pre-strategy
+  /// path (no extra RNG draws, no extra branches inside hot loops).
+  [[nodiscard]] bool enabled() const {
+    return free_rider_fraction > 0.0 || whitewash_fraction > 0.0 ||
+           collude_fraction > 0.0 || staked_fraction > 0.0;
+  }
+};
+
+/// Deterministic strategy assignment for a peer slot: a SplitMix64-style
+/// finalizer over the id (murmur3 constants — decorrelated from the
+/// order-book's seller hash, which uses the splitmix constants) maps the
+/// slot into [0,1), partitioned [free-rider | whitewasher | colluder |
+/// staked | honest]. No RNG: the population is fixed across churn, slot
+/// recycling, and run restarts.
+[[nodiscard]] Strategy assign(std::uint32_t id, const StrategyConfig& cfg);
+
+/// Per-strategy readout of a live market: population, credit held, and
+/// summed buffer fill (availability numerator) per strategy, plus the
+/// total bonded stake. Assembled on demand, allocation-free.
+struct Breakdown {
+  std::array<std::size_t, kNumStrategies> population{};
+  std::array<double, kNumStrategies> credits{};
+  std::array<double, kNumStrategies> buffer_fill{};  ///< sums, not means
+  double staked_total = 0.0;
+
+  [[nodiscard]] std::size_t attackers() const {
+    return population[1] + population[2] + population[3];
+  }
+  [[nodiscard]] double attacker_credits() const {
+    return credits[1] + credits[2] + credits[3];
+  }
+  [[nodiscard]] double total_credits() const {
+    double t = 0.0;
+    for (const double c : credits) t += c;
+    return t;
+  }
+};
+
+}  // namespace creditflow::strategy

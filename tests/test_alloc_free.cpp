@@ -170,6 +170,34 @@ TEST(AllocationFreeCore, OrderBookSteadyStateDoesNotAllocate) {
       << "the order-book round loop allocated";
 }
 
+TEST(AllocationFreeCore, StrategyLayerSteadyStateDoesNotAllocate) {
+  // The strategy-layer acceptance property: with every adversarial
+  // population live at once — free-riders zeroing budgets, whitewashers
+  // cycling identities through departure/re-activation, collusion rings
+  // washing credit, and staked seeders locking/revalidating bonds — the
+  // warmed round loop still never touches the heap. The colluder/staked
+  // scratch vectors are reserved at construction; whitewash resets reuse
+  // the churn path's pooled overlay slots. (Whitewash cycles do schedule
+  // departure events only under timed churn, which is off here — the
+  // strategy reset path itself is event-free.)
+  p2p::ProtocolConfig cfg;
+  cfg.initial_peers = 300;
+  cfg.max_peers = 300;
+  cfg.initial_credits = 100;
+  cfg.seed = 16;
+  cfg.strat.free_rider_fraction = 0.1;
+  cfg.strat.whitewash_fraction = 0.1;
+  cfg.strat.whitewash_threshold = 40.0;
+  cfg.strat.collude_fraction = 0.1;
+  cfg.strat.collude_clique = 3;
+  cfg.strat.collude_amount = 1;
+  cfg.strat.staked_fraction = 0.1;
+  cfg.strat.stake_amount = 20;
+  cfg.strat.revalidate_rounds = 8;
+  EXPECT_EQ(allocations_during_rounds(cfg, 100.0, 50.0), 0u)
+      << "the strategy-enabled round loop allocated";
+}
+
 TEST(AllocationFreeCore, TracingEnabledSteadyStateDoesNotAllocate) {
   // With the span tracer live, steady-state rounds must still be
   // allocation-free: spans write into pre-reserved thread-local rings.

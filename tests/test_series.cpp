@@ -5,6 +5,7 @@
 // unsampled one (the sampler consumes no RNG).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 
@@ -79,6 +80,39 @@ TEST(RoundSeriesSampler, ClosedMarketConservesCreditSupplyInRows) {
     EXPECT_GE(row.mean_buffer_fill, 0.0);
     EXPECT_LE(row.mean_buffer_fill, 1.0);
   }
+}
+
+TEST(RoundSeriesSampler, PositiveSupplyKeepsGiniFinite) {
+  MarketConfig cfg = tiny_config();
+  cfg.series_every_rounds = 1;
+  CreditMarket market(cfg);
+  (void)market.run();
+  ASSERT_NE(market.series(), nullptr);
+  for (const RoundSample& row : market.series()->rows()) {
+    EXPECT_TRUE(std::isfinite(row.gini_balances));
+  }
+}
+
+TEST(RoundSeriesSampler, ZeroSupplyEmitsNanGiniNotZero) {
+  // Inequality over zero credit is undefined; 0.0 would read as "perfectly
+  // equal", hiding a fully-bankrupt market from trajectory plots. The
+  // sampler emits nan (format_double renders the literal "nan"). The
+  // golden-hash pins cover sweep/run CSVs, not series bytes, so this is
+  // not a golden-output change.
+  MarketConfig cfg = tiny_config();
+  cfg.protocol.initial_credits = 0;
+  cfg.series_every_rounds = 1;
+  CreditMarket market(cfg);
+  (void)market.run();
+  ASSERT_NE(market.series(), nullptr);
+  const auto& rows = market.series()->rows();
+  ASSERT_FALSE(rows.empty());
+  for (const RoundSample& row : rows) {
+    EXPECT_EQ(row.credit_supply, 0.0);
+    EXPECT_TRUE(std::isnan(row.gini_balances));
+  }
+  const std::string csv = market.series()->csv();
+  EXPECT_NE(csv.find(",nan,"), std::string::npos);
 }
 
 TEST(RoundSeriesSampler, SamplingIsAPureReadout) {
